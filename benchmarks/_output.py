@@ -1,0 +1,19 @@
+"""Benchmark output plumbing.
+
+Every experiment prints its tables/figures *and* writes them under
+``benchmarks/results/`` so the regenerated artifacts survive pytest's
+output capture and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print ``text`` and persist it as ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")

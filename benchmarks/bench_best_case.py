@@ -1,0 +1,98 @@
+"""E10 — best-case vs worst-case latency (the [14]/[16] contrast).
+
+The paper's related work distinguishes its *worst-case* results from the
+*best-case* line ("Lucky read/write access…" [14], "Refined quorum
+systems" [16]) where operations are fast when the run is synchronous,
+fault-free and contention-free.  This benchmark measures the lucky
+protocol's round ladder — 1-round ops when lucky, degrading under faults —
+next to the worst-case-optimal stacks, showing both regimes coexist exactly
+as Section 1.2 describes.
+"""
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.faults.adversary import SilentBehavior
+from repro.registers.base import RegisterSystem
+from repro.registers.fast_regular import FastRegularProtocol
+from repro.registers.lucky import LuckyAtomicProtocol
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.types import object_id
+
+
+def _measure(protocol_factory, behaviors=None):
+    system = RegisterSystem(protocol_factory(), t=1, n_readers=2, behaviors=behaviors)
+    system.write("a", at=0)
+    system.read(1, at=80)
+    system.write("b", at=160)
+    system.read(2, at=240)
+    system.run()
+    history = system.history()
+    assert check_swmr_atomicity(history).ok
+    return system.max_rounds("write"), system.max_rounds("read")
+
+
+def test_best_case_ladder(benchmark):
+    def run():
+        rows = []
+        lucky_clean = _measure(lambda: LuckyAtomicProtocol())
+        lucky_faulty = _measure(
+            lambda: LuckyAtomicProtocol(),
+            behaviors={object_id(2): SilentBehavior()},
+        )
+        worst_optimal = _measure(
+            lambda: RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2)
+        )
+        rows.append({
+            "protocol": "lucky-atomic, fault-free (best case)",
+            "write rounds": str(lucky_clean[0]), "read rounds": str(lucky_clean[1]),
+        })
+        rows.append({
+            "protocol": "lucky-atomic, one silent fault",
+            "write rounds": str(lucky_faulty[0]), "read rounds": str(lucky_faulty[1]),
+        })
+        rows.append({
+            "protocol": "transform(fast-regular) (worst-case optimal)",
+            "write rounds": str(worst_optimal[0]), "read rounds": str(worst_optimal[1]),
+        })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Best case vs worst case (the [14]/[16] contrast of Section 1.2)",
+        ("protocol", "write rounds", "read rounds"),
+        rows,
+    )
+    emit("best_case_ladder", table)
+    assert rows[0] == {
+        "protocol": "lucky-atomic, fault-free (best case)",
+        "write rounds": "1", "read rounds": "1",
+    }
+    assert rows[1]["read rounds"] == "3"
+    assert rows[2]["read rounds"] == "4"
+
+
+def test_lucky_fast_path_requires_full_population(benchmark):
+    """Quantify the luck: the 1-round path fires only on unanimous replies
+    from all S objects — any single divergence ends it."""
+
+    def run():
+        clean = _measure(lambda: LuckyAtomicProtocol())
+        degraded = _measure(
+            lambda: LuckyAtomicProtocol(),
+            behaviors={object_id(1): SilentBehavior()},
+        )
+        return clean, degraded
+
+    (clean, degraded) = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "lucky_cliff",
+        (
+            "The best-case cliff: lucky rounds (write, read) go from "
+            f"{clean} fault-free to {degraded} with one silent object — "
+            "best-case speed is real but fragile, which is why the paper "
+            "studies the worst case"
+        ),
+    )
+    assert clean == (1, 1)
+    assert degraded == (2, 3)

@@ -1,0 +1,80 @@
+"""E8 — the Introduction's cloud-cost motivation, quantified.
+
+"The number of interactions with the remote cloud storage … is often
+directly associated with the monetary cost."  This benchmark prices the
+measured round counts of every protocol stack under an S3-style
+per-request model and a WAN RTT, for a read-heavy key-value workload.
+"""
+
+import pytest
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.cost.model import CloudCostModel
+
+#: (stack, write rounds, read rounds) — the measured values of E6.
+STACKS = [
+    ("abd (crash only)", 1, 2),
+    ("atomic over secret tokens", 2, 3),
+    ("atomic over fast-regular (unauthenticated)", 2, 4),
+    ("mwmr over fast-regular", 6, 4),
+]
+
+
+def test_per_operation_cost_table(benchmark):
+    model = CloudCostModel(S=4)
+
+    def build():
+        rows = []
+        for name, write_rounds, read_rounds in STACKS:
+            write = model.operation(write_rounds)
+            read = model.operation(read_rounds)
+            rows.append({
+                "stack": name,
+                "write rounds": str(write_rounds),
+                "read rounds": str(read_rounds),
+                "read latency (ms)": f"{read.latency_ms:.0f}",
+                "read cost ($/Mop)": f"{read.dollars * 1e6:.2f}",
+                "write cost ($/Mop)": f"{write.dollars * 1e6:.2f}",
+            })
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        "Cloud cost of robustness (S = 4 objects, $0.4/M requests, 30 ms RTT)",
+        ("stack", "write rounds", "read rounds", "read latency (ms)",
+         "read cost ($/Mop)", "write cost ($/Mop)"),
+        rows,
+    )
+    emit("cost_per_operation", table)
+    # The shape the paper implies: unauthenticated robustness costs exactly
+    # 4/3 of the secret-token stack and 2x ABD on reads.
+    read_costs = [float(row["read cost ($/Mop)"]) for row in rows]
+    assert read_costs[2] / read_costs[1] == pytest.approx(4 / 3)
+    assert read_costs[2] / read_costs[0] == pytest.approx(2.0)
+
+
+def test_workload_cost_sweep(benchmark):
+    model = CloudCostModel(S=4)
+
+    def build():
+        rows = []
+        reads, writes = 950_000, 50_000  # the read-heavy KV mix of the intro
+        for name, write_rounds, read_rounds in STACKS:
+            total = model.workload(reads, read_rounds, writes, write_rounds)
+            rows.append({
+                "stack": name,
+                "workload": "95% reads / 5% writes, 1M ops",
+                "total cost ($)": f"{total:.2f}",
+            })
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        "Monthly-style workload pricing per stack",
+        ("stack", "workload", "total cost ($)"),
+        rows,
+    )
+    emit("cost_workload", table)
+    totals = [float(row["total cost ($)"]) for row in rows]
+    assert totals == sorted(totals), "robustness must be monotonically pricier"

@@ -1,0 +1,54 @@
+"""E3 — Figure 2: the write-lower-bound instance k = 4, regenerated.
+
+The paper's Figure 2 (a)–(h) illustrates Lemma 1 at ``k = 4`` (``t_4 = 10``,
+``S = 31``, four readers).  This benchmark executes the construction at that
+exact instance, prints the block-size table, the superblock identity checks,
+and the per-run diagrams.
+"""
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.core.blocks import write_bound_partition
+from repro.core.diagrams import legend, render_chain
+from repro.core.recurrence import t_k
+from repro.core.write_bound import WriteLowerBoundConstruction
+from repro.registers.strawman import ThreeRoundReadProtocol
+
+K = 4
+
+
+def _regenerate():
+    construction = WriteLowerBoundConstruction(
+        lambda: ThreeRoundReadProtocol(write_rounds=K), k=K
+    )
+    return construction.execute(keep_runs=True)
+
+
+def test_figure2_block_table(benchmark):
+    wbp = benchmark(write_bound_partition, K)
+    rows = [
+        {"block": name, "size": str(len(wbp.partition.members(name)))}
+        for name in wbp.partition.names
+    ]
+    table = format_table(
+        f"Figure 2 partition (k={K}, t_4={t_k(K)}, S={wbp.S})", ("block", "size"), rows
+    )
+    identities = [
+        f"eq(1) |∪M_l| = t_(l+1)      : {'ok' if all(wbp.identity_malicious(l) for l in range(0, K)) else 'FAIL'}",
+        f"eq(2) |∪P_l| = t_k − t_(l−2): {'ok' if all(wbp.identity_parity(l) for l in range(1, K + 2)) else 'FAIL'}",
+        f"eq(3) |∪C_l| = t_k − t_(l−2): {'ok' if all(wbp.identity_correct(l) for l in range(1, K + 1)) else 'FAIL'}",
+    ]
+    emit("figure2_partition", table + "\n" + "\n".join(identities))
+    assert wbp.verify_identities()
+
+
+def test_figure2_run_diagrams(benchmark):
+    outcome = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    assert outcome.certificate.valid
+    caption = (
+        f"Figure 2 — runs of the Lemma 1 construction at k={K} "
+        f"(t={t_k(K)}, S={3 * t_k(K) + 1}, R={K})\n" + legend()
+    )
+    text = render_chain(outcome.kept_runs, caption)
+    text += "\n\n" + outcome.certificate.render()
+    emit("figure2", text)

@@ -1,0 +1,81 @@
+"""E2 — Proposition 1 sweep: no 2-round reads when S ≤ 4t, R > 3.
+
+For every ``t`` in the sweep the construction must convict the 2-round-read
+strawman (violation certificate), and the matching 4-round-read
+implementation must *escape* (its reads cannot terminate within the
+scripted two rounds) — the executable statement of the bound plus its
+tightness.
+"""
+
+import pytest
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.core.read_bound import ReadLowerBoundConstruction
+from repro.errors import ConstructionEscape
+from repro.registers.fast_regular import FastRegularProtocol
+from repro.registers.strawman import TwoRoundReadProtocol
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+
+SWEEP = [(1, 1), (1, 2), (2, 1), (2, 2), (3, 2), (1, 3)]
+
+
+def _convict(t: int, k: int):
+    construction = ReadLowerBoundConstruction(
+        lambda: TwoRoundReadProtocol(write_rounds=k), t=t
+    )
+    return construction.execute()
+
+
+@pytest.mark.parametrize("t,k", SWEEP)
+def test_strawman_convicted_across_sweep(benchmark, t, k):
+    outcome = benchmark.pedantic(_convict, args=(t, k), rounds=1, iterations=1)
+    assert outcome.certificate.valid, outcome.certificate.render()
+
+
+def test_sweep_table(benchmark):
+    def sweep():
+        rows = []
+        for t, k in SWEEP:
+            outcome = _convict(t, k)
+            cert = outcome.certificate
+            rows.append({
+                "t": str(t),
+                "S": str(cert.parameters["S"]),
+                "k (write rounds)": str(k),
+                "runs": str(outcome.runs_executed),
+                "final run": cert.final_run,
+                "violated": f"property {cert.verdict.violated_property}",
+                "certificate": "valid" if cert.valid else "INVALID",
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        "Proposition 1 — two-round reads are impossible (S=4t, R=4)",
+        ("t", "S", "k (write rounds)", "runs", "final run", "violated", "certificate"),
+        rows,
+    )
+    emit("read_lower_bound", table)
+    assert all(row["certificate"] == "valid" for row in rows)
+
+
+def test_matching_implementation_escapes(benchmark):
+    def attempt():
+        construction = ReadLowerBoundConstruction(
+            lambda: RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=4),
+            t=1,
+        )
+        try:
+            construction.execute()
+            return None
+        except ConstructionEscape as escape:
+            return escape
+
+    escape = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert escape is not None
+    emit(
+        "read_lower_bound_tightness",
+        "Tightness: the 2W/4R matching implementation escapes the Prop. 1 "
+        f"adversary at step {escape.step}: {escape.reason}",
+    )

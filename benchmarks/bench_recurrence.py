@@ -1,0 +1,88 @@
+"""E5 — the recurrence t_k, its closed form, and the log bound (Lemma 2).
+
+Exact integer mathematics: this table must match the paper digit for digit.
+``t_k = t_{k−1} + 2t_{k−2} + 1 = (2^{k+2} − (−1)^k − 3)/6`` and the headline
+inversion ``k ≤ ⌊log₂(⌈(3t+1)/2⌉)⌋``.
+"""
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.core.recurrence import (
+    closed_form,
+    largest_k_for,
+    max_write_rounds,
+    resilience_bound,
+    t_k,
+    verify_log_identity,
+)
+
+
+def test_recurrence_table(benchmark):
+    def build():
+        rows = []
+        for k in range(1, 13):
+            rows.append({
+                "k": str(k),
+                "t_k (recurrence)": str(t_k(k)),
+                "t_k (closed form)": str(closed_form(k)),
+                "S = 3t_k+1": str(3 * t_k(k) + 1),
+                "match": "ok" if t_k(k) == closed_form(k) else "FAIL",
+            })
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        "The write-bound recurrence t_k = t_(k−1) + 2t_(k−2) + 1",
+        ("k", "t_k (recurrence)", "t_k (closed form)", "S = 3t_k+1", "match"),
+        rows,
+    )
+    emit("recurrence", table)
+    assert all(row["match"] == "ok" for row in rows)
+
+
+def test_log_bound_table(benchmark):
+    sweep = [1, 2, 3, 5, 9, 10, 50, 100, 1000, 10**6]
+
+    def build():
+        rows = []
+        for t in sweep:
+            rows.append({
+                "t": str(t),
+                "max k (log formula)": str(max_write_rounds(t)),
+                "max k (recurrence)": str(largest_k_for(t)),
+                "agree": "ok" if verify_log_identity(t) else "FAIL",
+            })
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        "Lemma 2 — write rounds needed for 3-round reads: k ≤ ⌊log₂⌈(3t+1)/2⌉⌋",
+        ("t", "max k (log formula)", "max k (recurrence)", "agree"),
+        rows,
+    )
+    emit("log_bound", table)
+    assert all(row["agree"] == "ok" for row in rows)
+
+
+def test_resilience_scaling_table(benchmark):
+    def build():
+        rows = []
+        for k in (1, 2, 3, 4):
+            base = t_k(k)
+            for multiple in (1, 2, 5):
+                t = base * multiple
+                rows.append({
+                    "k": str(k),
+                    "t": str(t),
+                    "S bound (Prop. 2)": str(resilience_bound(t, k)),
+                    "= 3t + ⌊t/t_k⌋": f"3·{t} + {t // base}",
+                })
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        "Proposition 2 — resilience frontier of the write bound",
+        ("k", "t", "S bound (Prop. 2)", "= 3t + ⌊t/t_k⌋"),
+        rows,
+    )
+    emit("resilience_scaling", table)

@@ -1,0 +1,100 @@
+"""E7 — the resilience frontier: where each bound applies.
+
+Three facets, all checked mechanically:
+
+* optimal resilience is ``3t + 1`` (footnote 1): Byzantine threshold
+  arithmetic rejects ``S = 3t`` and accepts ``3t + 1``;
+* Proposition 1's scope is ``S ≤ 4t``: the partition builder accepts the
+  whole range ``3t + 1 … 4t`` and the conviction succeeds at both ends;
+* masking-quorum analysis shows why ``4t + 1`` buys single-round safe reads
+  while ``3t + 1`` protocols need certification plus write-backs.
+"""
+
+import pytest
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.core.read_bound import ReadLowerBoundConstruction
+from repro.errors import ConfigurationError
+from repro.quorums.analysis import is_masking_system, threshold_family, threshold_fault_sets
+from repro.quorums.threshold import ByzantineThresholds
+from repro.registers.strawman import TwoRoundReadProtocol
+from repro.types import object_ids
+
+
+def test_optimal_resilience_frontier(benchmark):
+    def probe():
+        rows = []
+        for t in (1, 2, 3, 4):
+            at_3t = "rejected"
+            try:
+                ByzantineThresholds(S=3 * t, t=t)
+                at_3t = "ACCEPTED (bug)"
+            except ConfigurationError:
+                pass
+            th = ByzantineThresholds.optimally_resilient(t)
+            rows.append({
+                "t": str(t),
+                "S = 3t": at_3t,
+                "S = 3t+1": f"quorum {th.quorum}, certify {th.certify}",
+                "freshness witnesses": str(th.freshness_witnesses()),
+            })
+        return rows
+
+    rows = benchmark(probe)
+    table = format_table(
+        "Optimal resilience: 3t+1 objects, one guaranteed freshness witness",
+        ("t", "S = 3t", "S = 3t+1", "freshness witnesses"),
+        rows,
+    )
+    emit("resilience_frontier", table)
+    assert all(row["S = 3t"] == "rejected" for row in rows)
+    assert all(row["freshness witnesses"] == "1" for row in rows)
+
+
+@pytest.mark.parametrize("t,S", [(2, 7), (2, 8), (3, 10), (3, 12)])
+def test_proposition1_applies_across_its_range(benchmark, t, S):
+    """Conviction succeeds at S = 3t+1 (lower end) and S = 4t (upper end)."""
+
+    def convict():
+        construction = ReadLowerBoundConstruction(
+            lambda: TwoRoundReadProtocol(write_rounds=1), t=t, S=S
+        )
+        return construction.execute()
+
+    outcome = benchmark.pedantic(convict, rounds=1, iterations=1)
+    assert outcome.certificate.valid
+
+
+def test_proposition1_rejects_s_above_4t():
+    with pytest.raises(ConfigurationError):
+        ReadLowerBoundConstruction(lambda: TwoRoundReadProtocol(), t=2, S=9)
+
+
+def test_masking_quorum_frontier(benchmark):
+    def probe():
+        rows = []
+        for t, S in ((1, 4), (1, 5)):
+            objects = object_ids(S)
+            family = threshold_family(objects, S - t)
+            faults = threshold_fault_sets(objects, t)
+            rows.append({
+                "t": str(t),
+                "S": str(S),
+                "masking system": "yes" if is_masking_system(family, faults) else "no",
+                "meaning": (
+                    "single-round safe reads possible" if S == 4 * t + 1
+                    else "needs certification + write-backs"
+                ),
+            })
+        return rows
+
+    rows = benchmark(probe)
+    table = format_table(
+        "Masking quorums: 4t+1 vs 3t+1 (why robust 3t+1 reads are hard)",
+        ("t", "S", "masking system", "meaning"),
+        rows,
+    )
+    emit("masking_frontier", table)
+    assert rows[0]["masking system"] == "no"
+    assert rows[1]["masking system"] == "yes"

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""A Byzantine-tolerant cloud key-value store over robust atomic registers.
+
+The paper's introduction motivates robust atomic storage with cloud
+key-value APIs: clients rent storage from providers they do not fully
+trust, and every round-trip costs money.  This example builds a small KV
+store where each key is one SWMR atomic register (the paper's 2W/4R
+matching implementation), runs a product-catalog workload against four
+storage providers — one of which silently serves stale data — and prints
+the consistency verdict plus the monthly bill under S3-style pricing.
+
+Run:  python examples/cloud_kv.py
+"""
+
+from repro import FastRegularProtocol, RegisterSystem, check_swmr_atomicity
+from repro.cost.model import CloudCostModel
+from repro.faults import StaleEchoBehavior
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.types import object_id
+
+
+class CloudKeyValueStore:
+    """One robust atomic register per key, all on the same four providers."""
+
+    def __init__(self, t: int = 1, n_clients: int = 2) -> None:
+        self.t = t
+        self.n_clients = n_clients
+        self._registers: dict[str, RegisterSystem] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _register(self, key: str) -> RegisterSystem:
+        if key not in self._registers:
+            protocol = RegularToAtomicProtocol(
+                lambda: FastRegularProtocol(), n_readers=self.n_clients
+            )
+            system = RegisterSystem(protocol, t=self.t, n_readers=self.n_clients)
+            # Provider #2 is compromised across every key: it always
+            # replays the oldest state it knows.
+            rogue = system.server(object_id(2))
+            rogue.behavior = StaleEchoBehavior.freezing(rogue)
+            self._registers[key] = system
+        return self._registers[key]
+
+    def put(self, key: str, value: str, at: int = 0) -> None:
+        self._register(key).write(value, at=at)
+        self.writes += 1
+
+    def get(self, key: str, client: int, at: int = 0) -> None:
+        self._register(key).read(client, at=at)
+        self.reads += 1
+
+    def settle(self) -> dict[str, list]:
+        results: dict[str, list] = {}
+        for key, system in self._registers.items():
+            system.run()
+            history = system.history()
+            verdict = check_swmr_atomicity(history)
+            values = [r.value for r in history.reads()]
+            results[key] = [verdict.ok, values, system.max_rounds("read")]
+        return results
+
+
+def main() -> None:
+    store = CloudKeyValueStore(t=1, n_clients=2)
+
+    # A product-catalog session: prices change while clients browse.
+    store.put("sku:anvil", "$10", at=0)
+    store.get("sku:anvil", client=1, at=60)
+    store.put("sku:anvil", "$12", at=120)
+    store.get("sku:anvil", client=2, at=180)
+    store.get("sku:anvil", client=1, at=240)
+
+    store.put("sku:rocket", "in-stock", at=0)
+    store.get("sku:rocket", client=2, at=60)
+    store.put("sku:rocket", "sold-out", at=120)
+    store.get("sku:rocket", client=1, at=180)
+
+    results = store.settle()
+    print("key-value store session (provider #2 serves stale data on every key):\n")
+    for key, (atomic, values, read_rounds) in sorted(results.items()):
+        print(f"  {key:12s} reads returned {values} — "
+              f"{'ATOMIC' if atomic else 'INCONSISTENT'} ({read_rounds}-round reads)")
+        assert atomic
+
+    model = CloudCostModel(S=4)
+    monthly_ops = 1_000_000
+    read_share = 0.95
+    bill = model.workload(
+        reads=int(monthly_ops * read_share), read_rounds=4,
+        writes=int(monthly_ops * (1 - read_share)), write_rounds=2,
+    )
+    naive = model.workload(
+        reads=int(monthly_ops * read_share), read_rounds=2,
+        writes=int(monthly_ops * (1 - read_share)), write_rounds=1,
+    )
+    print(f"\ncloud bill for 1M ops/month at $0.4/M requests:")
+    print(f"  robust atomic (2W/4R):            ${bill:.2f}")
+    print(f"  non-robust baseline (1W/2R):      ${naive:.2f}")
+    print(f"  the price of Byzantine robustness: {bill / naive:.2f}x")
+    print("\ncloud_kv OK — stale-serving provider masked, atomicity preserved")
+
+
+if __name__ == "__main__":
+    main()

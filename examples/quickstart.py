@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: robust atomic storage in a dozen lines.
+
+Builds the paper's time-optimal robust atomic register — the regular→atomic
+transformation over a GV06-style regular substrate — on four simulated
+storage objects of which one is Byzantine, runs a few operations, verifies
+atomicity, and prints the round counts (2-round writes, 4-round reads).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FastRegularProtocol, RegisterSystem, check_swmr_atomicity
+from repro.faults import StaleEchoBehavior
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.types import object_id
+
+
+def main() -> None:
+    # The paper's matching implementation: R+1 regular registers, readers
+    # write back.  t = 1 Byzantine object out of S = 3t + 1 = 4.
+    protocol = RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2)
+    system = RegisterSystem(protocol, t=1, n_readers=2)
+
+    # Make one object malicious: it forever replays its pristine state.
+    rogue = system.server(object_id(2))
+    rogue.behavior = StaleEchoBehavior.freezing(rogue)
+
+    system.write("hello", at=0)
+    system.read(1, at=60)
+    system.write("world", at=120)
+    system.read(2, at=180)
+    system.read(1, at=240)
+    system.run()
+
+    history = system.history()
+    print("operation history:")
+    print(history.describe())
+
+    verdict = check_swmr_atomicity(history)
+    print(f"\natomicity check: {'PASS' if verdict.ok else 'FAIL — ' + verdict.explanation}")
+    print(f"write rounds (worst): {system.max_rounds('write')}  (paper: 2)")
+    print(f"read rounds (worst):  {system.max_rounds('read')}  (paper: 4)")
+
+    assert verdict.ok
+    assert system.max_rounds("write") == 2
+    assert system.max_rounds("read") == 4
+    print("\nquickstart OK — robust atomic storage at the paper's optimal latency")
+
+
+if __name__ == "__main__":
+    main()

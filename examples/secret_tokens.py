@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The secret-value model: how one extra assumption buys a round.
+
+Section 5 of the paper: in the stronger authentication model of [DMSS09],
+where secret values prevent the adversary from fabricating states, regular
+reads drop to one round and the atomic transformation yields 3-round reads
+— optimal in that model by the paper's own write lower bound.
+
+This example shows the mechanism concretely:
+
+1. against the *unauthenticated* fast-regular register in replay mode, a
+   fabricating object poisons a read (the documented gap);
+2. against the secret-token register the very same attack bounces off the
+   unforgeability oracle, in a single round;
+3. the full atomic stacks land at 4-round vs 3-round reads.
+
+Run:  python examples/secret_tokens.py
+"""
+
+from repro import FastRegularProtocol, RegisterSystem, SecretTokenProtocol, check_swmr_atomicity
+from repro.faults import FabricatingBehavior
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.types import object_id
+
+
+def fabrication_poisons_max_report() -> None:
+    print("1) fabrication against the replay-mode regular register:")
+    system = RegisterSystem(
+        FastRegularProtocol(trust_model="replay"), t=1, n_readers=1,
+        behaviors={object_id(1): FabricatingBehavior()},
+    )
+    system.write("genuine", at=0)
+    system.read(1, at=60)
+    system.run()
+    value = system.history().reads()[0].value
+    print(f"   read returned {value!r}  <- the sky-high forged timestamp won")
+    assert value == "<fabricated>"
+
+
+def tokens_shrug_it_off() -> None:
+    print("\n2) the same attack against the secret-token register:")
+    system = RegisterSystem(
+        SecretTokenProtocol(), t=1, n_readers=1,
+        behaviors={object_id(1): FabricatingBehavior()},
+    )
+    system.write("genuine", at=0)
+    system.read(1, at=60)
+    system.run()
+    value = system.history().reads()[0].value
+    rounds = system.max_rounds("read")
+    print(f"   read returned {value!r} in {rounds} round  <- forged pairs fail verification")
+    assert value == "genuine" and rounds == 1
+
+
+def atomic_stacks() -> None:
+    print("\n3) the full atomic stacks (both with a fabricating object):")
+    for label, substrate, expected_reads in (
+        ("unauthenticated", lambda: FastRegularProtocol("unauthenticated"), 4),
+        ("secret tokens   ", lambda: SecretTokenProtocol(), 3),
+    ):
+        protocol = RegularToAtomicProtocol(substrate, n_readers=2)
+        system = RegisterSystem(protocol, t=1, n_readers=2,
+                                behaviors={object_id(4): FabricatingBehavior()})
+        system.write("a", at=0)
+        system.read(1, at=80)
+        system.write("b", at=160)
+        system.read(2, at=240)
+        system.run()
+        verdict = check_swmr_atomicity(system.history())
+        rounds = system.max_rounds("read")
+        print(f"   atomic over {label}: reads in {rounds} rounds, "
+              f"atomicity {'PASS' if verdict.ok else 'FAIL'}")
+        assert verdict.ok and rounds == expected_reads
+
+
+if __name__ == "__main__":
+    fabrication_poisons_max_report()
+    tokens_shrug_it_off()
+    atomic_stacks()
+    print("\nsecret_tokens OK — one assumption, one round saved, exactly as Section 5 says")

@@ -1,0 +1,114 @@
+"""repro — reproduction of *The Complexity of Robust Atomic Storage* (PODC'11).
+
+Robust (wait-free, optimally resilient, unauthenticated-Byzantine) atomic
+read/write storage emulations over simulated fault-prone storage objects,
+together with **executable versions of the paper's two lower-bound proofs**
+and the matching upper-bound constructions of its Section 5.
+
+Public surface overview
+-----------------------
+
+* ``repro.registers`` — the protocol suite (ABD, GV06-style fast regular,
+  bounded regular, secret-token regular, regular→atomic and SWMR→MWMR
+  transformations, strawmen) and the :class:`RegisterSystem` harness.
+* ``repro.spec`` — atomicity / regularity / safety / linearizability
+  checkers over recorded operation histories.
+* ``repro.core`` — the lower-bound engine: the ``t_k`` recurrence, block
+  partitions and superblocks, scripted partial runs, and the Proposition 1 /
+  Lemma 1 constructions that emit atomicity-violation certificates.
+* ``repro.sim`` / ``repro.faults`` — the deterministic message-passing
+  simulator and the adversary layer (crash, replay-Byzantine, fabrication,
+  block-skipping schedules).
+* ``repro.quorums`` — threshold and set-system quorum arithmetic.
+* ``repro.workloads`` / ``repro.analysis`` / ``repro.cost`` — workload
+  generation, latency accounting, and the cloud cost model used by the
+  benchmark harness.
+
+Quickstart::
+
+    from repro import RegisterSystem, FastRegularProtocol, check_swmr_atomicity
+    from repro.registers.transform_atomic import RegularToAtomicProtocol
+
+    protocol = RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2)
+    system = RegisterSystem(protocol, t=1, n_readers=2)
+    system.write("hello", at=0)
+    system.read(1, at=30)
+    system.run()
+    assert check_swmr_atomicity(system.history()).ok
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    ConstructionError,
+    ConstructionEscape,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+)
+from repro.types import BOTTOM, ProcessId, TaggedValue, Timestamp, object_ids, reader_id, reader_ids, writer_id
+from repro.registers import (
+    AbdProtocol,
+    BoundedRegularProtocol,
+    ByzantineSafeProtocol,
+    FastRegularProtocol,
+    LuckyAtomicProtocol,
+    MultiWriterAbdProtocol,
+    MultiWriterRegisterSystem,
+    RegisterSystem,
+    RegularToAtomicProtocol,
+    SecretTokenProtocol,
+    ThreeRoundReadProtocol,
+    TwoRoundReadProtocol,
+)
+from repro.spec import (
+    History,
+    HistoryRecorder,
+    check_swmr_atomicity,
+    check_swmr_regularity,
+    check_swmr_safety,
+    is_linearizable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProtocolError",
+    "SpecificationError",
+    "ConstructionError",
+    "ConstructionEscape",
+    # types
+    "BOTTOM",
+    "ProcessId",
+    "Timestamp",
+    "TaggedValue",
+    "object_ids",
+    "reader_id",
+    "reader_ids",
+    "writer_id",
+    # registers
+    "RegisterSystem",
+    "AbdProtocol",
+    "MultiWriterAbdProtocol",
+    "ByzantineSafeProtocol",
+    "FastRegularProtocol",
+    "BoundedRegularProtocol",
+    "LuckyAtomicProtocol",
+    "SecretTokenProtocol",
+    "RegularToAtomicProtocol",
+    "MultiWriterRegisterSystem",
+    "TwoRoundReadProtocol",
+    "ThreeRoundReadProtocol",
+    # spec
+    "History",
+    "HistoryRecorder",
+    "check_swmr_atomicity",
+    "check_swmr_regularity",
+    "check_swmr_safety",
+    "is_linearizable",
+]

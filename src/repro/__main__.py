@@ -1,0 +1,147 @@
+"""Command-line reproducer: ``python -m repro <command>``.
+
+Commands:
+
+* ``summary``    — one-screen overview: both lower bounds executed at small
+                   instances plus the measured latency matrix.
+* ``read-bound``  [--t T] [--k K]   — run Proposition 1, print the certificate.
+* ``write-bound`` [--k K]           — run Lemma 1, print the certificate.
+* ``latency``                       — measure the Section 5 latency matrix.
+* ``recurrence`` [--max-k K]        — print the t_k table and the log bound.
+
+Everything runs in seconds on a laptop; nothing touches the network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_read_bound(args: argparse.Namespace) -> int:
+    from repro.core.read_bound import ReadLowerBoundConstruction
+    from repro.registers.strawman import TwoRoundReadProtocol
+
+    construction = ReadLowerBoundConstruction(
+        lambda: TwoRoundReadProtocol(write_rounds=args.k), t=args.t
+    )
+    outcome = construction.execute()
+    print(outcome.certificate.render())
+    return 0 if outcome.certificate.valid else 1
+
+
+def _cmd_write_bound(args: argparse.Namespace) -> int:
+    from repro.core.write_bound import WriteLowerBoundConstruction
+    from repro.registers.strawman import ThreeRoundReadProtocol
+
+    construction = WriteLowerBoundConstruction(
+        lambda: ThreeRoundReadProtocol(write_rounds=args.k), k=args.k
+    )
+    outcome = construction.execute()
+    print(outcome.certificate.render())
+    return 0 if outcome.certificate.valid else 1
+
+
+def _cmd_latency(_args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import measure_latency
+    from repro.analysis.tables import format_table
+    from repro.registers.abd import AbdProtocol
+    from repro.registers.base import RegisterSystem
+    from repro.registers.fast_regular import FastRegularProtocol
+    from repro.registers.secret_token import SecretTokenProtocol
+    from repro.registers.transform_atomic import RegularToAtomicProtocol
+    from repro.workloads.generator import WorkloadGenerator
+
+    suite = [
+        ("abd", lambda: AbdProtocol()),
+        ("fast-regular", lambda: FastRegularProtocol()),
+        ("secret-token", lambda: SecretTokenProtocol()),
+        ("atomic(fast-regular)",
+         lambda: RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2)),
+        ("atomic(secret-token)",
+         lambda: RegularToAtomicProtocol(lambda: SecretTokenProtocol(), n_readers=2)),
+    ]
+    rows = []
+    for name, factory in suite:
+        system = RegisterSystem(factory(), t=1, n_readers=2)
+        report = measure_latency(
+            system, WorkloadGenerator(seed=1, spacing=150).plan(10), scenario="fault-free"
+        )
+        rows.append({
+            "protocol": name,
+            "write rounds": str(report.worst_write),
+            "read rounds": str(report.worst_read),
+        })
+    print(format_table("measured worst-case rounds (t=1, fault-free)",
+                       ("protocol", "write rounds", "read rounds"), rows))
+    return 0
+
+
+def _cmd_recurrence(args: argparse.Namespace) -> int:
+    from repro.core.recurrence import max_write_rounds, t_k
+
+    print("k   :", " ".join(f"{k:6d}" for k in range(1, args.max_k + 1)))
+    print("t_k :", " ".join(f"{t_k(k):6d}" for k in range(1, args.max_k + 1)))
+    print()
+    for t in (1, 2, 5, 10, 100, 10_000):
+        print(f"t={t:>6}: 3-round reads need writes of more than "
+              f"{max_write_rounds(t)} rounds")
+    return 0
+
+
+def _cmd_summary(_args: argparse.Namespace) -> int:
+    from repro.core.read_bound import ReadLowerBoundConstruction
+    from repro.core.write_bound import WriteLowerBoundConstruction
+    from repro.registers.strawman import ThreeRoundReadProtocol, TwoRoundReadProtocol
+
+    print("The Complexity of Robust Atomic Storage (PODC'11) — reproduction summary")
+    print("=" * 74)
+    read = ReadLowerBoundConstruction(
+        lambda: TwoRoundReadProtocol(write_rounds=2), t=1
+    ).execute()
+    print(f"Proposition 1 (no 2-round reads, S≤4t, R>3): certificate "
+          f"{'VALID' if read.certificate.valid else 'INVALID'} "
+          f"({read.runs_executed} runs)")
+    write = WriteLowerBoundConstruction(
+        lambda: ThreeRoundReadProtocol(write_rounds=2), k=2
+    ).execute()
+    print(f"Lemma 1 (3-round reads ⇒ Ω(log t) writes), k=2: certificate "
+          f"{'VALID' if write.certificate.valid else 'INVALID'} "
+          f"({write.runs_executed} runs)")
+    print()
+    _cmd_latency(_args)
+    print("\nSee `pytest benchmarks/ --benchmark-only` for every figure/table.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("summary", help="run both bounds + the latency matrix")
+
+    read = sub.add_parser("read-bound", help="execute Proposition 1")
+    read.add_argument("--t", type=int, default=1)
+    read.add_argument("--k", type=int, default=2, help="victim write rounds")
+
+    write = sub.add_parser("write-bound", help="execute Lemma 1")
+    write.add_argument("--k", type=int, default=2)
+
+    sub.add_parser("latency", help="measure the latency matrix")
+
+    recurrence = sub.add_parser("recurrence", help="print t_k and the log bound")
+    recurrence.add_argument("--max-k", type=int, default=10)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "summary": _cmd_summary,
+        "read-bound": _cmd_read_bound,
+        "write-bound": _cmd_write_bound,
+        "latency": _cmd_latency,
+        "recurrence": _cmd_recurrence,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

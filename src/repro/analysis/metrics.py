@@ -1,0 +1,85 @@
+"""Round-trip latency accounting.
+
+The paper's complexity metric is communication round-trips per operation.
+:func:`measure_latency` replays a workload against a register system and
+reports, per operation kind, the worst/mean rounds used — cross-checked
+against the wire (the message trace) so the engine cannot misreport its own
+round count.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import SpecificationError
+from repro.registers.base import RegisterSystem
+from repro.sim.simulator import OperationStatus
+from repro.workloads.generator import OperationPlan, apply_plan
+
+
+@dataclass(slots=True)
+class LatencyReport:
+    """Rounds-per-operation statistics for one system execution."""
+
+    protocol: str
+    scenario: str
+    write_rounds: list[int] = field(default_factory=list)
+    read_rounds: list[int] = field(default_factory=list)
+    incomplete: int = 0
+
+    @property
+    def worst_write(self) -> int:
+        return max(self.write_rounds, default=0)
+
+    @property
+    def worst_read(self) -> int:
+        return max(self.read_rounds, default=0)
+
+    @property
+    def mean_write(self) -> float:
+        return statistics.fmean(self.write_rounds) if self.write_rounds else 0.0
+
+    @property
+    def mean_read(self) -> float:
+        return statistics.fmean(self.read_rounds) if self.read_rounds else 0.0
+
+    def row(self) -> dict[str, str]:
+        """A formatted table row."""
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "writes (worst/mean)": f"{self.worst_write}/{self.mean_write:.2f}",
+            "reads (worst/mean)": f"{self.worst_read}/{self.mean_read:.2f}",
+            "incomplete": str(self.incomplete),
+        }
+
+
+def measure_latency(
+    system: RegisterSystem,
+    plans: list[OperationPlan],
+    scenario: str = "",
+    verify_against_wire: bool = True,
+) -> LatencyReport:
+    """Replay ``plans`` on ``system`` and account rounds per operation."""
+    apply_plan(system, plans)
+    system.run()
+    report = LatencyReport(protocol=system.protocol.name, scenario=scenario)
+    for operation in system.simulator.operations:
+        if operation.status is not OperationStatus.COMPLETE:
+            report.incomplete += 1
+            continue
+        rounds = operation.rounds_used
+        if verify_against_wire:
+            on_wire = system.trace.round_trip_count(operation.op_id)
+            if on_wire != rounds:
+                raise SpecificationError(
+                    f"engine counted {rounds} rounds for {operation.op_id} "
+                    f"but the wire shows {on_wire}"
+                )
+        if operation.op_id.kind == "write":
+            report.write_rounds.append(rounds)
+        else:
+            report.read_rounds.append(rounds)
+    return report

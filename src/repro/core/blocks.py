@@ -1,0 +1,229 @@
+"""Block partitions and superblocks used by the lower-bound proofs.
+
+Both proofs partition the object set into named *blocks* and schedule
+deliveries per block ("round two of ``rd_1`` skips ``B_1``").  The write
+bound additionally groups blocks into three *superblock* families — the
+malicious ``M_l``, the parity ``P_l`` and the correct ``C_l`` — whose
+cardinalities obey the identities (1)–(3) of the paper:
+
+.. math::
+
+    |\\cup M_l| = t_{l+1}, \\quad
+    |\\cup P_l| = t_k - t_{l-2}, \\quad
+    |\\cup \\mathcal{C}_l| = t_k - t_{l-2}.
+
+These identities are what make every read skip exactly ``t_k`` objects per
+round and every mimicry run use exactly ``t_k`` malicious objects; the
+property-test suite checks them for every ``k`` up to 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.recurrence import t_k
+from repro.errors import ConfigurationError
+from repro.types import ProcessId, object_ids
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """A named partition of the object set.
+
+    ``blocks`` maps block names (e.g. ``"B1"``, ``"C3"``) to disjoint,
+    collectively exhaustive tuples of object ids.
+    """
+
+    S: int
+    blocks: Mapping[str, tuple[ProcessId, ...]]
+
+    def __post_init__(self) -> None:
+        seen: set[ProcessId] = set()
+        for name, members in self.blocks.items():
+            overlap = seen & set(members)
+            if overlap:
+                raise ConfigurationError(f"block {name} overlaps others: {sorted(overlap)}")
+            seen.update(members)
+        if len(seen) != self.S:
+            raise ConfigurationError(
+                f"partition covers {len(seen)} objects, expected S={self.S}"
+            )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Block names in declaration order."""
+        return tuple(self.blocks)
+
+    def members(self, name: str) -> tuple[ProcessId, ...]:
+        """Objects of one block."""
+        try:
+            return self.blocks[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown block {name!r}") from None
+
+    def union(self, names: Iterable[str]) -> tuple[ProcessId, ...]:
+        """Objects of several blocks, deterministic order."""
+        collected: list[ProcessId] = []
+        for name in names:
+            collected.extend(self.members(name))
+        return tuple(sorted(collected))
+
+    def size(self, names: Iterable[str]) -> int:
+        """Total object count of several blocks."""
+        return sum(len(self.members(name)) for name in names)
+
+    def block_of(self, pid: ProcessId) -> str:
+        """Name of the block containing ``pid``."""
+        for name, members in self.blocks.items():
+            if pid in members:
+                return name
+        raise ConfigurationError(f"{pid} is in no block")
+
+    def complement(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Block names not in ``names`` (the delivery set of a skip)."""
+        excluded = set(names)
+        return tuple(name for name in self.blocks if name not in excluded)
+
+
+# --------------------------------------------------------------------- #
+# Proposition 1 (read bound): four blocks over S ≤ 4t objects
+# --------------------------------------------------------------------- #
+
+
+def read_bound_partition(t: int, S: int | None = None) -> BlockPartition:
+    """The partition of Section 3: ``|B1|=|B2|=|B3|=t``, ``1 ≤ |B4| ≤ t``."""
+    if t < 1:
+        raise ConfigurationError("the read bound needs t >= 1")
+    if S is None:
+        S = 4 * t
+    if not 3 * t + 1 <= S <= 4 * t:
+        raise ConfigurationError(
+            f"Proposition 1 applies for 3t+1 <= S <= 4t (got S={S}, t={t})"
+        )
+    ids = object_ids(S)
+    blocks = {
+        "B1": ids[0:t],
+        "B2": ids[t : 2 * t],
+        "B3": ids[2 * t : 3 * t],
+        "B4": ids[3 * t :],
+    }
+    return BlockPartition(S=S, blocks=blocks)
+
+
+# --------------------------------------------------------------------- #
+# Lemma 1 (write bound): 2k + 2 blocks over 3·t_k + 1 objects
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class WriteBoundPartition:
+    """The Lemma 1 partition plus its superblock families.
+
+    Attributes:
+        k: write-round parameter (``k ≥ 1``); the fault budget is ``t_k``.
+        scale: Proposition 2's multiplier ``c`` (every block size × c).
+        partition: the underlying named partition with blocks
+            ``B0 … B{k+1}`` and ``C1 … C{k}`` (``C1`` is always empty).
+    """
+
+    k: int
+    scale: int
+    partition: BlockPartition
+
+    @property
+    def t(self) -> int:
+        """The fault budget: ``c · t_k``."""
+        return self.scale * t_k(self.k)
+
+    @property
+    def S(self) -> int:
+        return self.partition.S
+
+    # -- superblock families ------------------------------------------- #
+
+    def malicious_superblock(self, l: int) -> tuple[str, ...]:
+        """``M_l = {B_j : 0 ≤ j ≤ l} ∪ {C_j : 1 ≤ j ≤ l}`` for ``l ≥ -1``."""
+        if not -1 <= l <= self.k - 1:
+            raise ConfigurationError(f"M_l defined for -1 <= l <= k-1, got l={l}")
+        names = [f"B{j}" for j in range(0, l + 1)]
+        names += [f"C{j}" for j in range(1, l + 1)]
+        return tuple(names)
+
+    def parity_superblock(self, l: int) -> tuple[str, ...]:
+        """``P_l = {B_j : l ≤ j ≤ k+1, j ≡ l (mod 2)}`` for ``1 ≤ l ≤ k+1``."""
+        if not 1 <= l <= self.k + 1:
+            raise ConfigurationError(f"P_l defined for 1 <= l <= k+1, got l={l}")
+        return tuple(
+            f"B{j}" for j in range(l, self.k + 2) if (j - l) % 2 == 0
+        )
+
+    def correct_superblock(self, l: int) -> tuple[str, ...]:
+        """``𝒞_l = {C_j : l ≤ j ≤ k}`` for ``1 ≤ l ≤ k + 1`` (empty at k+1)."""
+        if not 1 <= l <= self.k + 1:
+            raise ConfigurationError(f"C_l defined for 1 <= l <= k+1, got l={l}")
+        return tuple(f"C{j}" for j in range(l, self.k + 1))
+
+    # -- identity checks (equations (1)–(3)) ---------------------------- #
+
+    def identity_malicious(self, l: int) -> bool:
+        """Equation (1): ``|∪M_l| = c · t_{l+1}`` for ``0 ≤ l ≤ k−1``."""
+        return self.partition.size(self.malicious_superblock(l)) == self.scale * t_k(l + 1)
+
+    def identity_parity(self, l: int) -> bool:
+        """Equation (2): ``|∪P_l| = c · (t_k − t_{l−2})`` for ``1 ≤ l ≤ k+1``."""
+        expected = self.scale * (t_k(self.k) - t_k(l - 2))
+        return self.partition.size(self.parity_superblock(l)) == expected
+
+    def identity_correct(self, l: int) -> bool:
+        """Equation (3): ``|∪𝒞_l| = c · (t_k − t_{l−2})`` for ``1 ≤ l ≤ k``."""
+        expected = self.scale * (t_k(self.k) - t_k(l - 2))
+        return self.partition.size(self.correct_superblock(l)) == expected
+
+    def verify_identities(self) -> bool:
+        """All three identity families over their full index ranges."""
+        malicious = all(self.identity_malicious(l) for l in range(0, self.k))
+        parity = all(self.identity_parity(l) for l in range(1, self.k + 2))
+        correct = all(self.identity_correct(l) for l in range(1, self.k + 1))
+        return malicious and parity and correct
+
+
+def write_bound_partition(k: int, scale: int = 1) -> WriteBoundPartition:
+    """Build the Lemma 1 partition for parameter ``k`` (Proposition 2: × scale).
+
+    Sizes (paper, "Preliminaries" of Section 4), each multiplied by
+    ``scale``: ``|B0| = 1``; ``|B_l| = t_l − t_{l−2}`` for ``1 ≤ l ≤ k``;
+    ``|B_{k+1}| = t_k − t_{k−1}``; ``|C_l| = t_{l−1} − t_{l−2}`` for
+    ``1 ≤ l ≤ k−1``; ``|C_k| = t_k − t_{k−2}``.  Totals: the ``B`` blocks
+    hold ``2·t_k + 1`` objects, the ``C`` blocks ``t_k``, so
+    ``S = 3·t_k·scale + scale``.
+    """
+    if k < 1:
+        raise ConfigurationError("the write bound needs k >= 1")
+    if scale < 1:
+        raise ConfigurationError("scale must be at least 1")
+
+    sizes: dict[str, int] = {"B0": 1 * scale}
+    for l in range(1, k + 1):
+        sizes[f"B{l}"] = (t_k(l) - t_k(l - 2)) * scale
+    sizes[f"B{k + 1}"] = (t_k(k) - t_k(k - 1)) * scale
+    for l in range(1, k):
+        sizes[f"C{l}"] = (t_k(l - 1) - t_k(l - 2)) * scale
+    sizes[f"C{k}"] = (t_k(k) - t_k(k - 2)) * scale
+
+    S = sum(sizes.values())
+    expected_S = (3 * t_k(k) + 1) * scale
+    if S != expected_S:
+        raise ConfigurationError(
+            f"partition sizes sum to {S}, expected {expected_S}"
+        )  # pragma: no cover - internal consistency
+
+    ids = object_ids(S)
+    blocks: dict[str, tuple[ProcessId, ...]] = {}
+    cursor = 0
+    order = [f"B{j}" for j in range(0, k + 2)] + [f"C{j}" for j in range(1, k + 1)]
+    for name in order:
+        size = sizes[name]
+        blocks[name] = ids[cursor : cursor + size]
+        cursor += size
+    return WriteBoundPartition(k=k, scale=scale, partition=BlockPartition(S=S, blocks=blocks))

@@ -1,0 +1,79 @@
+"""Violation certificates: the structured output of an executed lower bound.
+
+A successful construction ends with a partial run whose visible history
+breaks the atomicity definition — typically property (1): some read returns
+a value that was never written.  The certificate bundles everything needed
+to audit that claim: the parameters, the per-step indistinguishability
+evidence, the final run's history, and the checker's verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.spec.atomicity import AtomicityVerdict
+
+
+@dataclass(slots=True)
+class EvidenceLine:
+    """One audited step of a construction."""
+
+    run: str
+    claim: str
+    verified: bool
+
+    def __str__(self) -> str:
+        status = "ok" if self.verified else "FAILED"
+        return f"[{status}] {self.run}: {self.claim}"
+
+
+@dataclass(slots=True)
+class ViolationCertificate:
+    """Evidence that a protocol class admits no implementation.
+
+    Attributes:
+        construction: which bound produced it (``read-lower-bound`` /
+            ``write-lower-bound``).
+        protocol: name of the concrete victim protocol.
+        parameters: the instance parameters (t, S, k, R, …).
+        final_run: name of the run exhibiting the violation.
+        verdict: the atomicity checker's verdict on the final history —
+            ``verdict.ok`` must be False for a valid certificate.
+        history_description: rendered final history.
+        evidence: the audited chain of per-run claims.
+    """
+
+    construction: str
+    protocol: str
+    parameters: dict[str, Any]
+    final_run: str
+    verdict: AtomicityVerdict
+    history_description: str
+    evidence: list[EvidenceLine] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """True when every evidence line holds and atomicity was violated."""
+        return (not self.verdict.ok) and all(line.verified for line in self.evidence)
+
+    def add(self, run: str, claim: str, verified: bool = True) -> None:
+        """Append one audited claim."""
+        self.evidence.append(EvidenceLine(run=run, claim=claim, verified=verified))
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"=== {self.construction} violation certificate ===",
+            f"victim protocol : {self.protocol}",
+            f"parameters      : {self.parameters}",
+            f"final run       : {self.final_run}",
+            f"violated clause : atomicity property {self.verdict.violated_property}",
+            f"checker says    : {self.verdict.explanation}",
+            "final history:",
+            self.history_description,
+            f"evidence chain ({len(self.evidence)} audited claims):",
+        ]
+        lines.extend(f"  {line}" for line in self.evidence)
+        lines.append(f"certificate valid: {self.valid}")
+        return "\n".join(lines)

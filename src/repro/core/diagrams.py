@@ -1,0 +1,112 @@
+"""ASCII block diagrams in the style of the paper's Figures 1 and 2.
+
+The paper illustrates every partial run as a grid: one row per block, one
+column per round of each operation; a rectangle means "this block received
+this round's messages and replied", ``@`` marks malicious blocks.  This
+module renders :class:`~repro.core.runs.RunResult` objects the same way, so
+the benchmark harness can regenerate Figure 1 (a)–(n) and Figure 2 (a)–(h)
+directly from the executed constructions — the diagrams are *output of the
+proof*, not hand-drawn pictures.
+
+Legend of a rendered cell:
+
+* ``[##]`` — the block received this round and the round terminated;
+* ``[~~]`` — the block received this round but the round never terminated
+  (replies in transit / operation incomplete);
+* blank — the round skipped this block;
+* a ``@`` alongside the block name — the block took a malicious step
+  (a state forgery) somewhere in the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runs import Deliver, Restore, RunResult, StartRead, StartWrite, TerminateRound
+
+
+@dataclass(frozen=True, slots=True)
+class _Column:
+    op: str
+    round_no: int
+    blocks: frozenset[str]
+    terminated: bool
+
+
+def _columns_of(result: RunResult) -> list[_Column]:
+    order: list[tuple[str, int]] = []
+    delivered: dict[tuple[str, int], set[str]] = {}
+    terminated: set[tuple[str, int]] = set()
+    for step in result.script:
+        if isinstance(step, Deliver):
+            key = (step.op, step.round_no)
+            if key not in delivered:
+                delivered[key] = set()
+                order.append(key)
+            delivered[key].update(step.blocks)
+        elif isinstance(step, TerminateRound):
+            terminated.add((step.op, step.round_no))
+    return [
+        _Column(op=op, round_no=rnd, blocks=frozenset(delivered[(op, rnd)]),
+                terminated=(op, rnd) in terminated)
+        for op, rnd in order
+    ]
+
+
+def render_run(result: RunResult, title: str | None = None) -> str:
+    """One Figure-1-style grid for a single partial run."""
+    columns = _columns_of(result)
+    blocks = list(result.partition.names)
+    name_width = max((len(b) for b in blocks), default=2) + 2
+
+    headers = [f"{c.op}.{c.round_no}" for c in columns]
+    width = max([len(h) for h in headers] + [4]) + 1
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    completed = {
+        name: result.ops[name].result
+        for name in result.op_order
+        if result.ops[name].complete and result.ops[name].kind == "read"
+    }
+    header_row = " " * name_width + "".join(h.ljust(width) for h in headers)
+    lines.append(header_row)
+    for block in blocks:
+        marker = "@" if block in result.malicious_blocks else " "
+        row = [f"{marker}{block}".ljust(name_width)]
+        for column in columns:
+            if block in column.blocks:
+                cell = "[##]" if column.terminated else "[~~]"
+            else:
+                cell = ""
+            row.append(cell.ljust(width))
+        lines.append("".join(row).rstrip())
+    forged = [step for step in result.script if isinstance(step, Restore)]
+    if forged:
+        lines.append("forgeries:")
+        for step in forged:
+            lines.append(f"  @{step.block}: restore to state before {step.point[0]}.{step.point[1]}")
+    if completed:
+        returns = ", ".join(f"{op} -> {value!r}" for op, value in completed.items())
+        lines.append(f"returns: {returns}")
+    return "\n".join(lines)
+
+
+def render_chain(runs: list[RunResult], caption: str) -> str:
+    """Render several runs as lettered sub-figures, like the paper."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    parts = [caption]
+    for index, run in enumerate(runs):
+        letter = letters[index % len(letters)]
+        parts.append("")
+        parts.append(render_run(run, title=f"({letter}) {run.name}"))
+    return "\n".join(parts)
+
+
+def legend() -> str:
+    """The cell legend, printed once per figure."""
+    return (
+        "legend: [##] round received & terminated   [~~] received, replies in "
+        "transit   (blank) skipped   @B block acted maliciously"
+    )

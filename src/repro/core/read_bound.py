@@ -1,0 +1,332 @@
+"""Proposition 1, executable: no 2-round reads when ``S ≤ 4t`` and ``R > 3``.
+
+The proof of Section 3, mechanized.  Starting from a complete ``write(1)``
+that skips block ``B4``, reads by four recycled readers are appended one
+after another (``rd_j`` skips ``B_{next(j)}`` in round one and ``B_j`` in
+round two) while the adversary progressively deletes write rounds and the
+steps of older reads.  For every appended read two runs are produced:
+
+* ``pr_n`` — extends the previous deletion run; block ``B_{m(n)}`` is
+  malicious and *forges its state to* ``σ_{k−i−1}`` (``σ_0`` for ``B4``)
+  before replying, exactly as in the paper;
+* ``Δpr_n`` — the deletion run: the write loses a round (``wr^{a}_{b}``
+  with ``a = k − ⌊n/4⌋``, ``b = (n mod 4) + 1``), the read two steps back
+  keeps only its first round, the previous read keeps its write-back away
+  from ``B_{m(n)}`` — and the *adaptive adversary* of
+  :func:`repro.core.runs.repair_against` inserts the ``σ^r`` forgeries on
+  ``B_{next(n)}`` needed to keep every terminated-round transcript equal to
+  ``pr_n``'s.  The blocks it is allowed to touch are exactly the paper's
+  malicious blocks; needing any other block fails the construction.
+
+Indistinguishability then forces ``rd_{m(n)}`` to return 1 in ``Δpr_n``;
+after ``4k − 1`` reads all write steps are gone (``wr^1_4`` differs from a
+write-free run only at the writer) and the final read returns 1 in a run
+with no write — violating atomicity property (1).  The certificate carries
+the audited chain.
+
+Applied to a protocol whose reads genuinely need more than two rounds (the
+4-round transform), the very first scripted read cannot complete —
+:class:`~repro.errors.ConstructionEscape` reports where, which is the
+executable face of the bound's tightness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.blocks import BlockPartition, read_bound_partition
+from repro.core.certificates import ViolationCertificate
+from repro.core.runs import (
+    INITIAL,
+    CaptureKey,
+    Deliver,
+    Restore,
+    RunResult,
+    Script,
+    ScriptedRun,
+    StartRead,
+    StartWrite,
+    TerminateRound,
+    repair_against,
+)
+from repro.errors import ConstructionError, ConstructionEscape
+from repro.registers.base import RegisterProtocol
+from repro.spec.atomicity import check_swmr_atomicity
+
+#: The value written by the single write operation of the proof.
+WRITTEN_VALUE = 1
+
+_ALL_BLOCKS = ("B1", "B2", "B3", "B4")
+
+
+def _reader_of(n: int) -> int:
+    """``m(n)``: which of the four recycled readers performs ``rd_n``."""
+    return ((n - 1) % 4) + 1
+
+
+def _skipped_first(n: int) -> int:
+    """Block index skipped by ``rd_n`` in round one: ``next(m) = (m mod 4)+1``."""
+    m = _reader_of(n)
+    return (m % 4) + 1
+
+
+@dataclass(slots=True)
+class ReadBoundOutcome:
+    """Everything the construction produced (certificate + raw runs)."""
+
+    certificate: ViolationCertificate
+    final_run: RunResult
+    runs_executed: int
+    kept_runs: "list[RunResult] | None" = None
+
+
+class ReadLowerBoundConstruction:
+    """Drives the Proposition 1 adversary against a concrete protocol.
+
+    Args:
+        protocol_factory: produces fresh victim instances; the victim's
+            ``write_rounds`` attribute is the ``k`` of the proof and its
+            reads must complete in two rounds for the trap to close.
+        t: Byzantine threshold (``t ≥ 1``).
+        S: object count, ``3t + 1 ≤ S ≤ 4t`` (default ``4t``).
+    """
+
+    def __init__(
+        self,
+        protocol_factory: Callable[[], RegisterProtocol],
+        t: int,
+        S: int | None = None,
+    ) -> None:
+        self.partition: BlockPartition = read_bound_partition(t, S)
+        self.t = t
+        self.runner = ScriptedRun(
+            protocol_factory, self.partition, t=t, n_readers=4
+        )
+        self.k = self.runner.probe.write_rounds
+        if self.k < 1:
+            raise ConstructionError("victim protocol must take at least one write round")
+
+    # ------------------------------------------------------------------ #
+    # Script builders
+    # ------------------------------------------------------------------ #
+
+    def _write_script(self) -> Script:
+        """The complete write run ``wr``: ``k`` rounds, each skipping B4."""
+        steps: Script = [StartWrite("write", WRITTEN_VALUE)]
+        for round_no in range(1, self.k + 1):
+            steps.append(Deliver("write", round_no, ("B1", "B2", "B3")))
+            steps.append(TerminateRound("write", round_no))
+        return steps
+
+    def _sigma_point(self, n: int) -> CaptureKey:
+        """Capture key of the state ``B_{m(n)}`` forges in ``pr_n``.
+
+        ``σ_x`` with ``x = k − 1 − ⌊(n−1)/4⌋`` for ``m(n) ∈ {1,2,3}`` and
+        ``σ_0`` for ``m(n) = 4``; ``σ_x`` is the state just before the
+        write's round ``x + 1`` in the reference run ``wr``.
+        """
+        m = _reader_of(n)
+        if m == 4:
+            return INITIAL
+        x = self.k - 1 - (n - 1) // 4
+        if x <= 0:
+            return INITIAL
+        return ("write", x + 1)
+
+    def _read_steps(self, n: int) -> Script:
+        """The two terminated rounds of a complete ``rd_n``."""
+        op = f"rd{n}"
+        m = _reader_of(n)
+        skip1 = f"B{_skipped_first(n)}"
+        skip2 = f"B{m}"
+        return [
+            StartRead(op, reader=m),
+            Deliver(op, 1, self.partition.complement([skip1])),
+            TerminateRound(op, 1),
+            Deliver(op, 2, self.partition.complement([skip2])),
+            TerminateRound(op, 2),
+        ]
+
+    def _delta_write_part(self, n: int) -> Script:
+        """``wr^{a}_{b}``: rounds ``1..a−1`` complete; round ``a`` partial."""
+        a = self.k - n // 4
+        b = (n % 4) + 1
+        partial = tuple(f"B{l}" for l in range(b, 4))
+        if a - 1 == 0 and not partial:
+            return []  # wr^1_4: no object hears from the writer at all
+        steps: Script = [StartWrite("write", WRITTEN_VALUE)]
+        for round_no in range(1, a):
+            steps.append(Deliver("write", round_no, ("B1", "B2", "B3")))
+            steps.append(TerminateRound("write", round_no))
+        if partial:
+            steps.append(Deliver("write", a, partial))  # never terminated
+        return steps
+
+    def _delta_reads_part(self, n: int) -> Script:
+        """Trimmed older reads plus the complete ``rd_n`` of ``Δpr_n``."""
+        steps: Script = []
+        m_n = _reader_of(n)
+        if n >= 3:
+            p = n - 2
+            op = f"rd{p}"
+            steps.append(StartRead(op, reader=_reader_of(p)))
+            steps.append(
+                Deliver(op, 1, self.partition.complement([f"B{_skipped_first(p)}"]))
+            )  # round one only, never terminated
+        if n >= 2:
+            p = n - 1
+            op = f"rd{p}"
+            skip1 = f"B{_skipped_first(p)}"
+            steps.append(StartRead(op, reader=_reader_of(p)))
+            steps.append(Deliver(op, 1, self.partition.complement([skip1])))
+            steps.append(TerminateRound(op, 1))
+            round2 = self.partition.complement([f"B{_reader_of(p)}", f"B{m_n}"])
+            steps.append(Deliver(op, 2, round2))  # write-back, never terminated
+        steps.extend(self._read_steps(n))
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, keep_runs: bool = False) -> ReadBoundOutcome:
+        """Run the full chain ``pr_1 … Δpr_{4k−1}``; return the certificate.
+
+        With ``keep_runs`` the outcome also carries every executed run, in
+        order, for diagram rendering (Figure 1).
+        """
+        kept: list[RunResult] | None = [] if keep_runs else None
+        certificate = ViolationCertificate(
+            construction="read-lower-bound (Proposition 1)",
+            protocol=self.runner.probe.name,
+            parameters={"t": self.t, "S": self.partition.S, "k": self.k, "R": 4},
+            final_run="",
+            verdict=check_swmr_atomicity(self.runner.execute("empty", []).history()),
+            history_description="",
+        )
+
+        write_run = self.runner.execute("wr", self._write_script())
+        if not write_run.is_complete("write"):
+            raise ConstructionEscape("wr:write", "the write did not complete in k rounds")
+        certificate.add("wr", f"write(1) completes in k={self.k} rounds, skipping B4")
+
+        delta_script: Script = list(write_run.script)
+        delta_result: RunResult = write_run
+        runs_executed = 1
+        total = 4 * self.k - 1
+
+        for n in range(1, total + 1):
+            m = _reader_of(n)
+            nxt = _skipped_first(n)
+            op = f"rd{n}"
+
+            pr_script: Script = list(delta_script)
+            pr_script.append(
+                Restore(
+                    block=f"B{m}",
+                    source=write_run.captures,
+                    point=self._sigma_point(n),
+                    note=f"B{m} forges σ before replying to {op} (pr{n})",
+                )
+            )
+            pr_script.extend(self._read_steps(n))
+            pr_run = self.runner.execute(f"pr{n}", pr_script)
+            runs_executed += 1
+            if kept is not None:
+                kept.append(pr_run)
+
+            if not pr_run.is_complete(op):
+                raise ConstructionEscape(
+                    f"pr{n}:{op}",
+                    "read did not complete within two scripted rounds "
+                    "(the protocol is outside Proposition 1's class)",
+                )
+            returned = pr_run.returned(op)
+            if not pr_run.malicious_blocks <= {f"B{m}"}:
+                raise ConstructionError(
+                    f"pr{n} used malicious blocks {pr_run.malicious_blocks}, expected ⊆ {{B{m}}}"
+                )
+            if returned != WRITTEN_VALUE:
+                # Early violation: atomicity already forces 1 here (pr_n is
+                # a legal run with ≤ t Byzantine objects in which the read
+                # succeeds operations that established value 1), so a
+                # different return convicts the protocol immediately.
+                history = pr_run.history()
+                verdict = check_swmr_atomicity(history)
+                certificate.final_run = f"pr{n}"
+                certificate.verdict = verdict
+                certificate.history_description = history.describe()
+                certificate.add(
+                    f"pr{n}",
+                    (
+                        f"{op} returned {returned!r} instead of {WRITTEN_VALUE!r}: "
+                        f"atomicity property {verdict.violated_property} violated in pr{n} itself"
+                    ),
+                    verified=not verdict.ok,
+                )
+                return ReadBoundOutcome(
+                    certificate=certificate,
+                    final_run=pr_run,
+                    runs_executed=runs_executed,
+                    kept_runs=kept,
+                )
+            certificate.add(
+                f"pr{n}",
+                f"{op} (reader r{m}, B{m} malicious) returns {returned!r}",
+                verified=True,
+            )
+
+            delta_base = self._delta_write_part(n) + self._delta_reads_part(n)
+            compare = [f"rd{p}" for p in (n - 2, n - 1, n) if p >= 1]
+            delta_run = repair_against(
+                self.runner,
+                f"dpr{n}",
+                delta_base,
+                reference=pr_run,
+                allowed_blocks=[f"B{nxt}"],
+                compare_ops=compare,
+            )
+            runs_executed += 1
+            if kept is not None:
+                kept.append(delta_run)
+
+            delta_returned = delta_run.returned(op)
+            certificate.add(
+                f"Δpr{n}",
+                (
+                    f"indistinguishable to r{m} with malicious ⊆ {{B{nxt}}} "
+                    f"({delta_run.malicious_object_count()} ≤ t={self.t} objects); "
+                    f"{op} returns {delta_returned!r}"
+                ),
+                verified=(
+                    delta_returned == returned
+                    and delta_run.malicious_object_count() <= self.t
+                ),
+            )
+
+            delta_script = list(delta_run.script)
+            delta_result = delta_run
+
+        final_history = delta_result.history()
+        verdict = check_swmr_atomicity(final_history)
+        certificate.final_run = f"Δpr{total}"
+        certificate.verdict = verdict
+        certificate.history_description = final_history.describe()
+        write_invoked = "write" in delta_result.ops
+        certificate.add(
+            f"Δpr{total}",
+            "no write step survives (indistinguishable from a write-free run)",
+            verified=not write_invoked,
+        )
+        certificate.add(
+            f"Δpr{total}",
+            f"atomicity property {verdict.violated_property} violated: {verdict.explanation}",
+            verified=not verdict.ok,
+        )
+        return ReadBoundOutcome(
+            certificate=certificate,
+            final_run=delta_result,
+            runs_executed=runs_executed,
+            kept_runs=kept,
+        )

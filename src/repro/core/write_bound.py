@@ -1,0 +1,408 @@
+"""Lemma 1 / Proposition 2, executable: 3-round reads force Ω(log t) writes.
+
+The proof of Section 4, mechanized over the partition of
+:func:`repro.core.blocks.write_bound_partition` (blocks ``B0 … B{k+1}``,
+``C1 … Ck``; fault budget ``t_k``; ``S = 3·t_k + 1``; ``k`` readers).
+
+Chain of runs, per appended read ``rd_l``:
+
+* ``pr_l`` — extends the previous deletion run ``Δpr_{l−1}`` by the missing
+  steps of a complete ``rd_l`` (rounds one/two skip ``M_{l−2} ∪ P_{l+1}``,
+  round three skips ``M_{l−2} ∪ 𝒞_{l+1}``; ``rd_k`` skips
+  ``M_{k−2} ∪ P_{k+1}`` throughout).  ``rd_l`` hears only from correct
+  blocks.
+* ``prC_l`` — the mimicry run (the paper's ``@pr_{l−1}`` extended by a fresh
+  complete ``rd_l``): the previous reference run *without* ``rd_l``'s
+  initial round-one steps, in which superblock ``P_l`` (plus ``M_{l−3}``)
+  is malicious and forges ``σ^l_0`` / ``σ^*_{k−l}`` — discovered here
+  adaptively by :func:`repro.core.runs.repair_against` — so that ``rd_l``
+  cannot distinguish ``prC_l`` from ``pr_l``.  In ``prC_l`` the read
+  *succeeds* a complete operation that established value 1, so atomicity
+  forces it to return 1; indistinguishability transfers that to ``pr_l``.
+* ``Δpr_l`` — the deletion run: one more write round gone
+  (``wr^{k−l−1}``), older reads trimmed to type *inc2* (round one
+  terminated, round two delivered only to ``𝒞_j``), ``rd_l`` to *inc3*
+  (round three delivered but unterminated), with superblock ``M_{l−1}``
+  allowed to forge (``B_0 → σ_k`` to ``rd_1``, ``{B_j, C_j} → σ^r_j`` to
+  ``rd_{j+1}`` — again discovered adaptively).
+
+``Δpr_k`` contains **no write step at all** yet its complete ``rd_k``
+returns 1 — atomicity property (1) violated; the certificate carries the
+audited chain, including the per-run Byzantine budgets (exactly ``t_k``
+objects, via the superblock cardinality identities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.blocks import WriteBoundPartition, write_bound_partition
+from repro.core.certificates import ViolationCertificate
+from repro.core.runs import (
+    Deliver,
+    RunResult,
+    Script,
+    ScriptedRun,
+    StartRead,
+    StartWrite,
+    TerminateRound,
+    repair_against,
+)
+from repro.errors import ConstructionError, ConstructionEscape
+from repro.registers.base import RegisterProtocol
+from repro.spec.atomicity import check_swmr_atomicity
+
+#: The value written by the single write operation of the proof.
+WRITTEN_VALUE = 1
+
+
+@dataclass(slots=True)
+class WriteBoundOutcome:
+    """Certificate plus raw final run of one executed instance."""
+
+    certificate: ViolationCertificate
+    final_run: RunResult
+    runs_executed: int
+    kept_runs: "list[RunResult] | None" = None
+
+
+class WriteLowerBoundConstruction:
+    """Drives the Lemma 1 adversary against a concrete protocol.
+
+    Args:
+        protocol_factory: produces victims whose writes take exactly ``k``
+            rounds and whose reads complete in three rounds.
+        k: the write-round parameter; the instance uses ``t = t_k`` faults
+            and ``S = 3·t_k + 1`` objects (× ``scale`` for Proposition 2's
+            resilience generalization).
+        scale: Proposition 2's block multiplier ``c ≥ 1``.
+    """
+
+    def __init__(
+        self,
+        protocol_factory: Callable[[], RegisterProtocol],
+        k: int,
+        scale: int = 1,
+    ) -> None:
+        if k < 1:
+            raise ConstructionError("the write bound needs k >= 1")
+        self.k = k
+        self.wbp: WriteBoundPartition = write_bound_partition(k, scale=scale)
+        if not self.wbp.verify_identities():
+            raise ConstructionError("superblock cardinality identities failed")
+        self.partition = self.wbp.partition
+        self.t = self.wbp.t
+        self.runner = ScriptedRun(protocol_factory, self.partition, t=self.t, n_readers=k)
+        if self.runner.probe.write_rounds != k:
+            raise ConstructionError(
+                f"victim writes take {self.runner.probe.write_rounds} rounds, expected k={k}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Skip patterns and script builders
+    # ------------------------------------------------------------------ #
+
+    def _b_blocks(self) -> tuple[str, ...]:
+        return tuple(f"B{j}" for j in range(0, self.k + 2))
+
+    def _skip_early(self, l: int) -> tuple[str, ...]:
+        """Skips of rounds one and two of ``rd_l``: ``M_{l−2} ∪ P_{l+1}``."""
+        return self.wbp.malicious_superblock(l - 2) + self.wbp.parity_superblock(l + 1)
+
+    def _skip_third(self, l: int) -> tuple[str, ...]:
+        """Skips of round three: ``M_{l−2} ∪ 𝒞_{l+1}`` (``rd_k``: as early)."""
+        if l == self.k:
+            return self._skip_early(l)
+        return self.wbp.malicious_superblock(l - 2) + self.wbp.correct_superblock(l + 1)
+
+    def _prinit_steps(self, exclude: int | None = None) -> Script:
+        """Start every read and deliver its round one to ``P_l`` only."""
+        steps: Script = []
+        for l in range(1, self.k + 1):
+            if l == exclude:
+                continue
+            op = f"rd{l}"
+            steps.append(StartRead(op, reader=l))
+            parity = self.wbp.parity_superblock(l)
+            if parity:
+                steps.append(Deliver(op, 1, parity))
+        return steps
+
+    def _write_steps(self, i: int) -> Script:
+        """``wr^{k−i}``: rounds ``1..k−i`` terminated, round ``k−i+1`` partial."""
+        steps: Script = [StartWrite("write", WRITTEN_VALUE)]
+        for round_no in range(1, self.k - i + 1):
+            steps.append(Deliver("write", round_no, self._b_blocks()))
+            steps.append(TerminateRound("write", round_no))
+        parity = 2 - (i % 2)
+        skipped = set(self.wbp.parity_superblock(parity))
+        partial = tuple(name for name in self._b_blocks() if name not in skipped)
+        if partial:
+            steps.append(Deliver("write", self.k - i + 1, partial))
+        return steps
+
+    def _write_full_steps(self) -> Script:
+        """``wr^k``: the complete ``k``-round write, skipping every ``C``."""
+        steps: Script = [StartWrite("write", WRITTEN_VALUE)]
+        for round_no in range(1, self.k + 1):
+            steps.append(Deliver("write", round_no, self._b_blocks()))
+            steps.append(TerminateRound("write", round_no))
+        return steps
+
+    def _completion_steps(self, l: int) -> Script:
+        """Missing steps of a complete ``rd_l`` (round one started at prinit)."""
+        op = f"rd{l}"
+        early = self.partition.complement(self._skip_early(l))
+        parity = set(self.wbp.parity_superblock(l))
+        round_one_missing = tuple(name for name in early if name not in parity)
+        steps: Script = []
+        if round_one_missing:
+            steps.append(Deliver(op, 1, round_one_missing))
+        steps.append(TerminateRound(op, 1))
+        steps.append(Deliver(op, 2, early))
+        steps.append(TerminateRound(op, 2))
+        third = self.partition.complement(self._skip_third(l))
+        steps.append(Deliver(op, 3, third))
+        steps.append(TerminateRound(op, 3))
+        return steps
+
+    def _fresh_complete_read_steps(self, l: int) -> Script:
+        """A from-scratch complete ``rd_l`` (for ``prC_l``: no prinit start)."""
+        op = f"rd{l}"
+        early = self.partition.complement(self._skip_early(l))
+        third = self.partition.complement(self._skip_third(l))
+        return [
+            StartRead(op, reader=l),
+            Deliver(op, 1, early),
+            TerminateRound(op, 1),
+            Deliver(op, 2, early),
+            TerminateRound(op, 2),
+            Deliver(op, 3, third),
+            TerminateRound(op, 3),
+        ]
+
+    def _inc2_steps(self, j: int) -> Script:
+        """Type *inc2* ``rd_j``: round one terminated, round two only to ``𝒞_j``."""
+        op = f"rd{j}"
+        early = self.partition.complement(self._skip_early(j))
+        parity = set(self.wbp.parity_superblock(j))
+        round_one_missing = tuple(name for name in early if name not in parity)
+        steps: Script = []
+        if round_one_missing:
+            steps.append(Deliver(op, 1, round_one_missing))
+        steps.append(TerminateRound(op, 1))
+        correct = self.wbp.correct_superblock(j)
+        if correct:
+            steps.append(Deliver(op, 2, correct))  # never terminated
+        return steps
+
+    def _inc3_steps(self, l: int) -> Script:
+        """Type *inc3* ``rd_l``: rounds one/two terminated, round three pending."""
+        op = f"rd{l}"
+        early = self.partition.complement(self._skip_early(l))
+        parity = set(self.wbp.parity_superblock(l))
+        round_one_missing = tuple(name for name in early if name not in parity)
+        steps: Script = []
+        if round_one_missing:
+            steps.append(Deliver(op, 1, round_one_missing))
+        steps.append(TerminateRound(op, 1))
+        steps.append(Deliver(op, 2, early))
+        steps.append(TerminateRound(op, 2))
+        third_skips = set(
+            self.wbp.malicious_superblock(l - 2)
+            + self.wbp.correct_superblock(l + 1)
+            + self.wbp.parity_superblock(l + 1)
+        )
+        third = tuple(name for name in self.partition.names if name not in third_skips)
+        if third:
+            steps.append(Deliver(op, 3, third))  # never terminated
+        return steps
+
+    def _delta_script(self, l: int) -> Script:
+        """Structural part of ``Δpr_l`` (forgeries added by the repair pass)."""
+        steps: Script = self._prinit_steps()
+        if l < self.k:
+            steps.extend(self._write_steps(l + 1))  # wr^{k−l−1}
+        # l == k: no write is invoked at all.
+        for j in range(1, l):
+            steps.extend(self._inc2_steps(j))
+        if l < self.k:
+            steps.extend(self._inc3_steps(l))
+        else:
+            steps.extend(self._completion_steps(self.k))
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, keep_runs: bool = False) -> WriteBoundOutcome:
+        """Run the chain ``pr_1, prC_1, Δpr_1, …, Δpr_k``; emit the certificate.
+
+        With ``keep_runs`` the outcome carries every executed run for
+        diagram rendering (Figure 2).
+        """
+        kept: list[RunResult] | None = [] if keep_runs else None
+        certificate = ViolationCertificate(
+            construction="write-lower-bound (Lemma 1 / Proposition 2)",
+            protocol=self.runner.probe.name,
+            parameters={
+                "k": self.k,
+                "t": self.t,
+                "S": self.partition.S,
+                "R": self.k,
+                "scale": self.wbp.scale,
+            },
+            final_run="",
+            verdict=check_swmr_atomicity(self.runner.execute("empty", []).history()),
+            history_description="",
+        )
+        certificate.add(
+            "partition",
+            (
+                f"block partition over S={self.partition.S} with superblock identities "
+                f"(1)-(3) verified; every read skips exactly t={self.t} objects per round"
+            ),
+            verified=self.wbp.verify_identities(),
+        )
+
+        runs_executed = 0
+        previous_script: Script | None = None
+        previous_pr: RunResult | None = None
+        delta_run: RunResult | None = None
+
+        for l in range(1, self.k + 1):
+            op = f"rd{l}"
+
+            if l == 1:
+                pr_script = self._prinit_steps() + self._write_steps(1) + self._completion_steps(1)
+            else:
+                assert delta_run is not None
+                pr_script = list(delta_run.script) + self._completion_steps(l)
+            pr_run = self.runner.execute(f"pr{l}", pr_script)
+            runs_executed += 1
+            if kept is not None:
+                kept.append(pr_run)
+            if not pr_run.is_complete(op):
+                raise ConstructionEscape(
+                    f"pr{l}:{op}",
+                    "read did not complete within three scripted rounds "
+                    "(the protocol is outside Lemma 1's class)",
+                )
+            returned = pr_run.returned(op)
+
+            # Mimicry run prC_l: establishes "by atomicity, rd_l returns 1".
+            if l == 1:
+                mimic_base = self._prinit_steps(exclude=1) + self._write_full_steps()
+                allowed = self.wbp.parity_superblock(1)
+            else:
+                assert previous_script is not None
+                mimic_base = [
+                    step
+                    for step in previous_script
+                    if getattr(step, "op", None) != op
+                ]
+                allowed = self.wbp.parity_superblock(l) + self.wbp.malicious_superblock(l - 3)
+            mimic_base = list(mimic_base) + self._fresh_complete_read_steps(l)
+            mimic_run = repair_against(
+                self.runner,
+                f"prC{l}",
+                mimic_base,
+                reference=pr_run,
+                allowed_blocks=allowed,
+                compare_ops=[op],
+            )
+            runs_executed += 1
+            if kept is not None:
+                kept.append(mimic_run)
+            mimic_returned = mimic_run.returned(op)
+            mimic_faults = mimic_run.malicious_object_count()
+            certificate.add(
+                f"prC{l}",
+                (
+                    f"{op} cannot distinguish prC{l} (malicious ⊆ P_{l} ∪ M_{l-3}, "
+                    f"{mimic_faults} ≤ t={self.t} objects) from pr{l}; both return "
+                    f"{mimic_returned!r}"
+                ),
+                verified=(mimic_returned == returned and mimic_faults <= self.t),
+            )
+            if returned != WRITTEN_VALUE:
+                # prC_l is then itself the violating legal run: rd_l succeeds
+                # an operation that established value 1 yet returned otherwise.
+                history = mimic_run.history()
+                verdict = check_swmr_atomicity(history)
+                certificate.final_run = f"prC{l}"
+                certificate.verdict = verdict
+                certificate.history_description = history.describe()
+                certificate.add(
+                    f"prC{l}",
+                    (
+                        f"{op} returned {returned!r} instead of {WRITTEN_VALUE!r}: atomicity "
+                        f"property {verdict.violated_property} violated in prC{l} itself"
+                    ),
+                    verified=not verdict.ok,
+                )
+                return WriteBoundOutcome(
+                    certificate=certificate,
+                    final_run=mimic_run,
+                    runs_executed=runs_executed,
+                    kept_runs=kept,
+                )
+            certificate.add(f"pr{l}", f"{op} (reader r{l}) returns {returned!r}")
+
+            # Deletion run Δpr_l.
+            delta_base = self._delta_script(l)
+            malicious_budget = self.wbp.malicious_superblock(l - 1)
+            compare = [f"rd{j}" for j in range(1, l + 1)]
+            delta_run = repair_against(
+                self.runner,
+                f"dpr{l}",
+                delta_base,
+                reference=pr_run,
+                allowed_blocks=malicious_budget,
+                compare_ops=compare,
+            )
+            runs_executed += 1
+            if kept is not None:
+                kept.append(delta_run)
+            delta_faults = delta_run.malicious_object_count()
+            budget_size = self.partition.size(malicious_budget)
+            certificate.add(
+                f"Δpr{l}",
+                (
+                    f"one more write round deleted; forgeries confined to M_{l-1} "
+                    f"({delta_faults} ≤ |∪M_{l-1}| = {budget_size} ≤ t={self.t} objects)"
+                ),
+                verified=delta_faults <= budget_size <= self.t,
+            )
+
+            previous_script = pr_script
+            previous_pr = pr_run
+
+        assert delta_run is not None
+        final_history = delta_run.history()
+        verdict = check_swmr_atomicity(final_history)
+        certificate.final_run = f"Δpr{self.k}"
+        certificate.verdict = verdict
+        certificate.history_description = final_history.describe()
+        final_return = delta_run.returned(f"rd{self.k}")
+        certificate.add(
+            f"Δpr{self.k}",
+            "no write step survives (no object ever hears from the writer)",
+            verified="write" not in delta_run.ops,
+        )
+        certificate.add(
+            f"Δpr{self.k}",
+            (
+                f"rd{self.k} returns {final_return!r}; atomicity property "
+                f"{verdict.violated_property} violated: {verdict.explanation}"
+            ),
+            verified=(final_return == WRITTEN_VALUE and not verdict.ok),
+        )
+        return WriteBoundOutcome(
+            certificate=certificate,
+            final_run=delta_run,
+            runs_executed=runs_executed,
+            kept_runs=kept,
+        )

@@ -1,0 +1,5 @@
+"""Cloud cost model for the paper's Introduction motivation."""
+
+from repro.cost.model import CloudCostModel, CostEstimate
+
+__all__ = ["CloudCostModel", "CostEstimate"]

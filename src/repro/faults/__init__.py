@@ -1,0 +1,34 @@
+"""Fault behaviours and adversarial schedules.
+
+The paper's model allows clients to crash and up to ``t`` objects to be
+*malicious* (Byzantine, unauthenticated data).  This package provides:
+
+* benign endpoint faults — silence, crash-at-time (:mod:`repro.faults.adversary`);
+* Byzantine behaviours — state replay ("forge state to σ", exactly the
+  adversary of the proofs) and fabrication of arbitrary well-typed states
+  (:mod:`repro.faults.byzantine`);
+* adversarial delivery schedules — block skipping and reply withholding
+  (:mod:`repro.faults.schedules`).
+"""
+
+from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
+from repro.faults.byzantine import (
+    FabricatingBehavior,
+    ReplayBehavior,
+    StateArchive,
+    StaleEchoBehavior,
+)
+from repro.faults.schedules import BlockSkipPolicy, SkipRule, WithholdFrom
+
+__all__ = [
+    "SilentBehavior",
+    "CrashAt",
+    "flaky_behavior",
+    "StateArchive",
+    "ReplayBehavior",
+    "StaleEchoBehavior",
+    "FabricatingBehavior",
+    "BlockSkipPolicy",
+    "SkipRule",
+    "WithholdFrom",
+]

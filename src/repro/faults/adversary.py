@@ -1,0 +1,85 @@
+"""Benign-endpoint fault behaviours: silence and crash.
+
+A silent object is the weakest Byzantine behaviour — in an asynchronous
+system a client cannot distinguish "crashed object" from "replies forever in
+transit", which is why every quorum rule in this library tolerates ``t``
+missing replies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.sim.network import Message
+from repro.sim.process import FaultBehavior, ObjectServer
+
+
+class SilentBehavior(FaultBehavior):
+    """Never reply to anything (object crashed before the run started)."""
+
+    def reply(
+        self,
+        server: ObjectServer,
+        message: Message,
+        honest_payload: Mapping[str, Any],
+    ) -> Mapping[str, Any] | None:
+        return None
+
+    def describe(self) -> str:
+        return "silent"
+
+
+class CrashAt(FaultBehavior):
+    """Behave correctly for the first ``survive_messages`` messages, then crash.
+
+    Message-counted rather than time-counted so behaviour is independent of
+    delivery policy timing, which keeps adversarial tests deterministic.
+    """
+
+    def __init__(self, survive_messages: int) -> None:
+        if survive_messages < 0:
+            raise ValueError("survive_messages must be non-negative")
+        self.survive_messages = survive_messages
+
+    def reply(
+        self,
+        server: ObjectServer,
+        message: Message,
+        honest_payload: Mapping[str, Any],
+    ) -> Mapping[str, Any] | None:
+        # messages_seen was already incremented for this delivery.
+        if server.messages_seen <= self.survive_messages:
+            return honest_payload
+        return None
+
+    def describe(self) -> str:
+        return f"crash-after-{self.survive_messages}"
+
+
+class _Flaky(FaultBehavior):
+    """Reply honestly with probability ``p`` (seeded), else stay silent."""
+
+    def __init__(self, p_reply: float, seed: int) -> None:
+        self.p_reply = p_reply
+        self._rng = random.Random(seed)
+
+    def reply(
+        self,
+        server: ObjectServer,
+        message: Message,
+        honest_payload: Mapping[str, Any],
+    ) -> Mapping[str, Any] | None:
+        if self._rng.random() < self.p_reply:
+            return honest_payload
+        return None
+
+    def describe(self) -> str:
+        return f"flaky(p={self.p_reply})"
+
+
+def flaky_behavior(p_reply: float = 0.5, seed: int = 0) -> FaultBehavior:
+    """A seeded randomly-silent behaviour (omission faults)."""
+    if not 0.0 <= p_reply <= 1.0:
+        raise ValueError("p_reply must be a probability")
+    return _Flaky(p_reply, seed)

@@ -1,0 +1,107 @@
+"""Adversarial delivery schedules: block skipping and reply withholding.
+
+The proofs say *"round rnd of operation op skips block B"*: no object in B
+receives the round's invocation (and hence never replies to it), while every
+other object receives it and replies.  On the event-loop simulator this is a
+delivery policy that holds the matching invocation messages; held messages
+stay "in transit", so a skipped round is a legitimate partial-run phenomenon,
+not message loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Collection, Iterable
+
+from repro.sim.network import DeliveryPolicy, FifoDelivery, Message
+from repro.types import OperationId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class SkipRule:
+    """Hold invocations of ``op`` round ``round_no`` aimed at ``objects``.
+
+    ``round_no`` of ``None`` means every round of the operation.
+    """
+
+    op: OperationId
+    objects: frozenset[ProcessId]
+    round_no: int | None = None
+
+    def matches(self, message: Message) -> bool:
+        if message.is_reply or message.op != self.op:
+            return False
+        if self.round_no is not None and message.round_no != self.round_no:
+            return False
+        return message.dst in self.objects
+
+
+class BlockSkipPolicy(DeliveryPolicy):
+    """A delivery policy enforcing a set of :class:`SkipRule`.
+
+    Non-matching messages flow through the base policy (unit-latency FIFO by
+    default), so the simulated run is synchronous except exactly where the
+    adversary intervenes.
+    """
+
+    def __init__(self, rules: Iterable[SkipRule] = (), base: DeliveryPolicy | None = None) -> None:
+        self.rules: list[SkipRule] = list(rules)
+        self.base = base or FifoDelivery()
+
+    def skip(self, op: OperationId, objects: Collection[ProcessId], round_no: int | None = None) -> "BlockSkipPolicy":
+        """Add a rule; returns self for chaining."""
+        self.rules.append(SkipRule(op=op, objects=frozenset(objects), round_no=round_no))
+        return self
+
+    def delay(self, message: Message, now: int) -> int | None:
+        for rule in self.rules:
+            if rule.matches(message):
+                return None
+        return self.base.delay(message, now)
+
+
+class WithholdFrom(DeliveryPolicy):
+    """Hold *replies* travelling from chosen objects to chosen clients.
+
+    This is the "keep t correct objects slow forever" adversary: the objects
+    are perfectly correct, but their replies sit in transit beyond the end of
+    the partial run.  ``release`` on the network ends the blackout.
+    """
+
+    def __init__(
+        self,
+        objects: Collection[ProcessId],
+        clients: Collection[ProcessId] | None = None,
+        base: DeliveryPolicy | None = None,
+        also_invocations: bool = False,
+    ) -> None:
+        self.objects = frozenset(objects)
+        self.clients = frozenset(clients) if clients is not None else None
+        self.base = base or FifoDelivery()
+        self.also_invocations = also_invocations
+
+    def _targets(self, message: Message) -> bool:
+        if message.is_reply:
+            if message.src not in self.objects:
+                return False
+            return self.clients is None or message.dst in self.clients
+        if self.also_invocations:
+            if message.dst not in self.objects:
+                return False
+            return self.clients is None or message.src in self.clients
+        return False
+
+    def delay(self, message: Message, now: int) -> int | None:
+        if self._targets(message):
+            return None
+        return self.base.delay(message, now)
+
+
+def predicate_policy(
+    hold_if: Callable[[Message], bool],
+    base: DeliveryPolicy | None = None,
+) -> DeliveryPolicy:
+    """Ad-hoc policy from a predicate (thin wrapper for tests)."""
+    from repro.sim.network import SelectiveHold
+
+    return SelectiveHold(hold_if=hold_if, base=base)

@@ -1,0 +1,52 @@
+"""Register protocol suite.
+
+Implements the storage emulations the paper discusses:
+
+* :mod:`repro.registers.abd` — crash-tolerant ABD (1-round writes, 2-round
+  reads) and its multi-writer variant, the classical baseline;
+* :mod:`repro.registers.safe` — a Byzantine safe register, the weakest rung;
+* :mod:`repro.registers.fast_regular` — GV06-style robust regular register
+  (2-round writes, 2-round reads, readers write);
+* :mod:`repro.registers.bounded_regular` — AAB07-style bounded reads
+  (voucher pooling across rounds, ``O(t)`` worst case);
+* :mod:`repro.registers.secret_token` — DMSS09-style regular register in the
+  secret-token model (1-round reads absent contention);
+* :mod:`repro.registers.lucky` — best-case-fast atomic register in the
+  spirit of [14]/[16] (1-round lucky paths, graceful degradation);
+* :mod:`repro.registers.transform_atomic` — the SWMR regular → SWMR atomic
+  transformation of [4, 20] that closes the paper's gap (2-round writes,
+  4-round reads; 3-round reads over the token substrate);
+* :mod:`repro.registers.transform_mwmr` — SWMR → MWMR transformation;
+* :mod:`repro.registers.strawman` — deliberately scalable-but-doomed
+  protocols (2-round and 3-round reads) used as concrete victims of the
+  lower-bound constructions.
+"""
+
+from repro.registers.base import ProtocolContext, RegisterProtocol, RegisterSystem
+from repro.registers.abd import AbdProtocol, MultiWriterAbdProtocol
+from repro.registers.safe import ByzantineSafeProtocol
+from repro.registers.fast_regular import FastRegularProtocol
+from repro.registers.bounded_regular import BoundedRegularProtocol
+from repro.registers.secret_token import SecretTokenProtocol, TokenAuthority
+from repro.registers.lucky import LuckyAtomicProtocol
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.registers.transform_mwmr import MultiWriterRegisterSystem
+from repro.registers.strawman import ThreeRoundReadProtocol, TwoRoundReadProtocol
+
+__all__ = [
+    "ProtocolContext",
+    "RegisterProtocol",
+    "RegisterSystem",
+    "AbdProtocol",
+    "MultiWriterAbdProtocol",
+    "ByzantineSafeProtocol",
+    "FastRegularProtocol",
+    "BoundedRegularProtocol",
+    "SecretTokenProtocol",
+    "TokenAuthority",
+    "LuckyAtomicProtocol",
+    "RegularToAtomicProtocol",
+    "MultiWriterRegisterSystem",
+    "TwoRoundReadProtocol",
+    "ThreeRoundReadProtocol",
+]

@@ -1,0 +1,194 @@
+"""Protocol and system plumbing shared by every register implementation.
+
+A :class:`RegisterProtocol` bundles the three protocol-specific pieces:
+
+* the object-side handler (state layout + reply logic),
+* the writer's operation generator,
+* the readers' operation generator,
+
+all expressed over the round abstraction of :mod:`repro.sim.rounds`.  The
+:class:`RegisterSystem` convenience harness instantiates a protocol on a
+simulator — objects, fault behaviours, history recording, tracing — so tests,
+examples and benchmarks can say ``system.write(1); system.read(1);
+system.run()`` and then check the resulting history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.sim.network import DeliveryPolicy
+from repro.sim.process import FaultBehavior, ObjectHandler, ObjectServer
+from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
+from repro.sim.tracing import MessageTrace
+from repro.spec.history import History, HistoryRecorder
+from repro.types import ProcessId, object_ids, reader_id, reader_ids, writer_id
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolContext:
+    """Static parameters every generator needs: sizes and identities."""
+
+    S: int
+    t: int
+    objects: tuple[ProcessId, ...]
+
+    @property
+    def wait_quorum(self) -> int:
+        """Replies a round can always safely wait for: ``S − t``."""
+        return self.S - self.t
+
+    @property
+    def certify(self) -> int:
+        """Reports guaranteeing at least one correct voucher: ``t + 1``."""
+        return self.t + 1
+
+
+class RegisterProtocol:
+    """Abstract SWMR register protocol.
+
+    Subclasses declare their resilience requirement via
+    :meth:`validate_configuration` and their advertised worst-case round
+    counts via :attr:`write_rounds` / :attr:`read_rounds` (used by the
+    latency benchmarks and by the lower-bound engine to select applicable
+    victims).
+    """
+
+    #: Human-readable protocol name for tables and traces.
+    name: str = "abstract"
+    #: Advertised worst-case communication rounds for a write.
+    write_rounds: int = 0
+    #: Advertised worst-case communication rounds for a read, or None when
+    #: unbounded / configuration-dependent.
+    read_rounds: int | None = None
+
+    def validate_configuration(self, S: int, t: int) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` if ``(S, t)`` is unsupported."""
+        raise NotImplementedError
+
+    def object_handler(self) -> ObjectHandler:
+        """Fresh object-side handler (one per storage object)."""
+        raise NotImplementedError
+
+    def write_generator(self, ctx: ProtocolContext, value: Any) -> ProtocolGenerator:
+        """Generator implementing ``write(value)`` for the single writer."""
+        raise NotImplementedError
+
+    def read_generator(self, ctx: ProtocolContext, reader: ProcessId) -> ProtocolGenerator:
+        """Generator implementing ``read()`` for ``reader``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line summary used by benchmark tables."""
+        reads = "unbounded" if self.read_rounds is None else str(self.read_rounds)
+        return f"{self.name}: {self.write_rounds}-round writes, {reads}-round reads"
+
+
+class RegisterSystem:
+    """A protocol instantiated on a simulated storage system.
+
+    Args:
+        protocol: the register protocol to run.
+        t: declared fault threshold.
+        S: number of objects (defaults to the protocol's minimum for ``t``,
+           i.e. ``3t + 1`` for Byzantine protocols, ``2t + 1`` for ABD).
+        n_readers: how many reader clients exist.
+        behaviors: fault behaviours keyed by object id; at most ``t`` entries
+           unless ``allow_overfault`` is set (some experiments deliberately
+           exceed the threshold to show where protocols break).
+        policy: delivery policy (default unit-latency FIFO).
+    """
+
+    def __init__(
+        self,
+        protocol: RegisterProtocol,
+        t: int,
+        S: int | None = None,
+        n_readers: int = 2,
+        behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
+        policy: DeliveryPolicy | None = None,
+        allow_overfault: bool = False,
+    ) -> None:
+        if S is None:
+            S = self._default_size(protocol, t)
+        protocol.validate_configuration(S, t)
+        behaviors = dict(behaviors or {})
+        if len(behaviors) > t and not allow_overfault:
+            raise ConfigurationError(
+                f"{len(behaviors)} faulty objects exceed the threshold t={t}"
+            )
+        self.protocol = protocol
+        self.ctx = ProtocolContext(S=S, t=t, objects=object_ids(S))
+        unknown = set(behaviors) - set(self.ctx.objects)
+        if unknown:
+            raise ConfigurationError(f"behaviours for unknown objects: {sorted(unknown)}")
+        self.servers = [
+            ObjectServer(pid=pid, handler=protocol.object_handler(), behavior=behaviors.get(pid))
+            for pid in self.ctx.objects
+        ]
+        self.recorder = HistoryRecorder()
+        self.trace = MessageTrace()
+        self.simulator = Simulator(
+            self.servers, policy=policy, history=self.recorder, trace=self.trace
+        )
+        self.writer = writer_id()
+        self.readers = reader_ids(n_readers)
+
+    @staticmethod
+    def _default_size(protocol: RegisterProtocol, t: int) -> int:
+        # Smallest standard threshold configuration the protocol accepts:
+        # 2t+1 for crash protocols, 3t+1 Byzantine, 4t+1 masking.
+        for size in sorted({1, t + 1, 2 * t + 1, 3 * t + 1, 4 * t + 1}):
+            try:
+                protocol.validate_configuration(size, t)
+                return size
+            except ConfigurationError:
+                continue
+        raise ConfigurationError(f"no default size found for {protocol.name} with t={t}")
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def write(self, value: Any, at: int = 0) -> ClientOperation:
+        """Schedule a write of ``value`` at relative virtual time ``at``.
+
+        The initial value ⊥ is reserved (paper §2.2: "not a valid input
+        value for a write").
+        """
+        from repro.types import BOTTOM
+
+        if value == BOTTOM:
+            raise ConfigurationError("⊥ is reserved for the initial value and cannot be written")
+        generator = self.protocol.write_generator(self.ctx, value)
+        return self.simulator.invoke(self.writer, "write", generator, at=at, declared_value=value)
+
+    def read(self, reader_index: int = 1, at: int = 0) -> ClientOperation:
+        """Schedule a read by reader ``r_{reader_index}`` at time ``at``."""
+        reader = reader_id(reader_index)
+        if reader not in self.readers:
+            raise ConfigurationError(f"{reader} is not one of the {len(self.readers)} readers")
+        generator = self.protocol.read_generator(self.ctx, reader)
+        return self.simulator.invoke(reader, "read", generator, at=at)
+
+    def run(self) -> None:
+        """Run the simulation to its quiescent fixed point."""
+        self.simulator.run()
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def history(self) -> History:
+        """The operation history recorded so far."""
+        return self.recorder.freeze()
+
+    def server(self, pid: ProcessId) -> ObjectServer:
+        """The object server with identifier ``pid``."""
+        return self.simulator.objects[pid]
+
+    def max_rounds(self, kind: str) -> int:
+        """Worst-case rounds used by completed operations of ``kind``."""
+        return self.simulator.max_rounds_used(kind)

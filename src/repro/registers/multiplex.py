@@ -1,0 +1,170 @@
+"""Multiplexing several logical registers over one set of physical objects.
+
+The regular→atomic transformation of [4, 20] uses ``R + 1`` SWMR regular
+registers; the SWMR→MWMR transformation stacks one atomic register per
+writer on top of that.  All of these logical registers live on the *same*
+``S`` storage objects, and — crucially for round counting — operations on
+different logical registers proceed **in the same communication rounds**:
+one physical message carries the per-register invocations side by side.
+
+This module provides the two halves of that multiplexing:
+
+* :class:`MultiplexObjectHandler` — object state is a dictionary of
+  per-register substrate states; a ``MULTI`` message carries a bundle of
+  inner calls, each dispatched to its register's state, and the reply
+  bundles the inner replies.
+* :func:`multiplex` — a generator combinator driving several substrate
+  client generators in lockstep: each merged round sends every substrate's
+  current-round message, terminates when *every* substrate's rule is
+  satisfied on its projected replies, and feeds each substrate its projected
+  outcome.  Nested multiplexing flattens (path-joined register names), which
+  is how the MWMR transform reuses the SWMR transform unchanged.
+
+Waiting for the slowest substrate's rule can only deliver *more* replies to
+the faster ones, which never violates their quorum logic; the merged round
+count equals the maximum of the substrates' round counts — exactly the
+"reads of all registers proceed in parallel" accounting the paper's
+Section 5 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ProtocolError
+from repro.sim.network import Message
+from repro.sim.process import ObjectHandler
+from repro.sim.rounds import ReplyRule, ReplySet, RoundOutcome, RoundSpec
+from repro.sim.simulator import ProtocolGenerator
+from repro.types import ProcessId
+
+MULTI = "MULTI"
+
+
+class MultiplexObjectHandler(ObjectHandler):
+    """Per-register substrate states behind a single object interface."""
+
+    def __init__(self, inner: ObjectHandler) -> None:
+        self.inner = inner
+
+    def initial_state(self) -> dict[str, Any]:
+        return {"registers": {}}
+
+    def handle(self, state: dict[str, Any], message: Message) -> Mapping[str, Any]:
+        if message.tag != MULTI:
+            return {"error": f"expected {MULTI}, got {message.tag}"}
+        calls = message.payload.get("calls")
+        if not isinstance(calls, Mapping):
+            return {"error": "malformed MULTI payload"}
+        registers: dict[str, Any] = state.setdefault("registers", {})
+        replies: dict[str, Mapping[str, Any]] = {}
+        for name in sorted(calls):
+            call = calls[name]
+            register_state = registers.setdefault(name, self.inner.initial_state())
+            inner_message = Message(
+                src=message.src,
+                dst=message.dst,
+                op=message.op,
+                round_no=message.round_no,
+                tag=str(call["tag"]),
+                payload=call["payload"],
+            )
+            replies[name] = self.inner.handle(register_state, inner_message)
+        return {"calls": replies}
+
+
+def _flatten_spec(prefix: str, spec: RoundSpec) -> dict[str, dict[str, Any]]:
+    """Expand one substrate spec into flat ``name -> {tag, payload}`` calls."""
+    if spec.per_object_payload is not None:
+        raise ProtocolError("multiplexed substrates may not use per-object payloads")
+    if spec.tag == MULTI:
+        inner_calls = spec.payload["calls"]
+        return {f"{prefix}/{name}": dict(call) for name, call in inner_calls.items()}
+    return {prefix: {"tag": spec.tag, "payload": dict(spec.payload)}}
+
+
+def _project(prefix: str, spec: RoundSpec, replies: ReplySet) -> ReplySet:
+    """Rebuild the reply set one substrate would have seen on its own."""
+    projected: ReplySet = {}
+    for pid, payload in replies.items():
+        calls = payload.get("calls") if isinstance(payload, Mapping) else None
+        if not isinstance(calls, Mapping):
+            continue  # malformed (Byzantine) reply: invisible to the substrate
+        if spec.tag == MULTI:
+            inner_names = list(spec.payload["calls"])
+            picked = {}
+            complete = True
+            for name in inner_names:
+                flat = f"{prefix}/{name}"
+                if flat in calls:
+                    picked[name] = calls[flat]
+                else:
+                    complete = False
+            if complete:
+                projected[pid] = {"calls": picked}
+        elif prefix in calls:
+            projected[pid] = calls[prefix]
+    return projected
+
+
+def multiplex(generators: Mapping[str, ProtocolGenerator]) -> ProtocolGenerator:
+    """Drive substrate generators over shared rounds; returns their results.
+
+    Yields merged :class:`RoundSpec` objects (tag ``MULTI``); the caller (the
+    simulator or the scripted runner) treats them like any other round.  The
+    return value maps each register name to its substrate's return value.
+    """
+    active: dict[str, ProtocolGenerator] = dict(generators)
+    specs: dict[str, RoundSpec] = {}
+    results: dict[str, Any] = {}
+    sub_round: dict[str, int] = {name: 0 for name in active}
+
+    for name, generator in list(active.items()):
+        try:
+            specs[name] = next(generator)
+            sub_round[name] = 1
+        except StopIteration as stop:  # a substrate with no rounds at all
+            results[name] = stop.value
+            del active[name]
+
+    while active:
+        merged_calls: dict[str, dict[str, Any]] = {}
+        for name, spec in specs.items():
+            merged_calls.update(_flatten_spec(name, spec))
+
+        current_specs = dict(specs)
+
+        def merged_predicate(replies: ReplySet) -> bool:
+            for name, spec in current_specs.items():
+                if not spec.rule.satisfied(_project(name, spec, replies)):
+                    return False
+            return True
+
+        min_count = max(spec.rule.min_count for spec in specs.values())
+        accept = all(spec.rule.accept_on_quiescence for spec in specs.values())
+        outcome = yield RoundSpec(
+            tag=MULTI,
+            payload={"calls": merged_calls},
+            rule=ReplyRule(
+                min_count=min_count, predicate=merged_predicate, accept_on_quiescence=accept
+            ),
+        )
+
+        next_specs: dict[str, RoundSpec] = {}
+        for name, generator in list(active.items()):
+            spec = specs[name]
+            sub_outcome = RoundOutcome(
+                round_no=sub_round[name],
+                replies=_project(name, spec, outcome.replies),
+                quiesced=outcome.quiesced,
+                terminated_at=outcome.terminated_at,
+            )
+            try:
+                next_specs[name] = generator.send(sub_outcome)
+                sub_round[name] += 1
+            except StopIteration as stop:
+                results[name] = stop.value
+                del active[name]
+        specs = next_specs
+
+    return results

@@ -1,0 +1,92 @@
+"""Timestamp/candidate selection helpers shared by the Byzantine protocols.
+
+Reply payloads of the Byzantine protocols carry one or more
+:class:`~repro.types.TaggedValue` fields (``pw`` — pre-written, ``w`` —
+written).  This module centralizes the selection arithmetic: extracting
+candidates, counting vouchers, certification at the ``t + 1`` threshold, and
+the freshness maxima the correctness arguments lean on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Mapping
+
+from repro.sim.rounds import ReplySet
+from repro.types import ProcessId, TaggedValue
+
+
+def reported_pairs(payload: Mapping[str, Any], fields: Iterable[str]) -> list[TaggedValue]:
+    """The tagged values a single reply vouches for."""
+    pairs = []
+    for name in fields:
+        value = payload.get(name)
+        if isinstance(value, TaggedValue):
+            pairs.append(value)
+    return pairs
+
+
+def voucher_counts(replies: ReplySet, fields: Iterable[str] = ("pw", "w")) -> Counter:
+    """How many distinct objects vouch for each tagged value.
+
+    An object vouches for every tagged value appearing in any of the given
+    payload fields of its reply; it counts once per value even when the value
+    appears in both fields.
+    """
+    fields = tuple(fields)
+    counts: Counter = Counter()
+    for payload in replies.values():
+        for pair in set(reported_pairs(payload, fields)):
+            counts[pair] += 1
+    return counts
+
+
+def pooled_voucher_counts(
+    reply_sets: Iterable[ReplySet], fields: Iterable[str] = ("pw", "w")
+) -> Counter:
+    """Voucher counts pooled across several rounds.
+
+    An object vouching for a value in *any* round counts once: pooling per
+    ``(object, value)`` pair, as the bounded-read protocol requires (each
+    additional round can only add new distinct vouchers).
+    """
+    fields = tuple(fields)
+    seen: set[tuple[ProcessId, TaggedValue]] = set()
+    counts: Counter = Counter()
+    for replies in reply_sets:
+        for pid, payload in replies.items():
+            for pair in set(reported_pairs(payload, fields)):
+                if (pid, pair) not in seen:
+                    seen.add((pid, pair))
+                    counts[pair] += 1
+    return counts
+
+
+def certified_candidates(counts: Counter, threshold: int) -> list[TaggedValue]:
+    """Values vouched for by at least ``threshold`` distinct objects."""
+    return [pair for pair, n in counts.items() if n >= threshold]
+
+
+def max_candidate(candidates: Iterable[TaggedValue]) -> TaggedValue:
+    """Highest-timestamp candidate; ``(0, ⊥)`` when the pool is empty."""
+    best = TaggedValue.initial()
+    for pair in candidates:
+        if pair.ts > best.ts:
+            best = pair
+    return best
+
+
+def max_certified(replies: ReplySet, threshold: int, fields: Iterable[str] = ("pw", "w")) -> TaggedValue:
+    """Highest certified candidate in one reply set."""
+    counts = voucher_counts(replies, fields)
+    return max_candidate(certified_candidates(counts, threshold))
+
+
+def newer_reporters(replies: ReplySet, than: TaggedValue, fields: Iterable[str] = ("pw", "w")) -> int:
+    """Objects reporting any pair strictly newer than ``than``."""
+    fields = tuple(fields)
+    count = 0
+    for payload in replies.values():
+        if any(pair.ts > than.ts for pair in reported_pairs(payload, fields)):
+            count += 1
+    return count

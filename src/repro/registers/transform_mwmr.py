@@ -1,0 +1,173 @@
+"""SWMR → MWMR transformation (the paper's closing remark of Section 5).
+
+The classical construction: each of the ``n`` writers owns one SWMR atomic
+register (here: the regular→atomic transform of
+:mod:`repro.registers.transform_atomic`, so the whole stack is built from
+Byzantine-robust regular registers).  A multi-writer write first reads all
+``n`` registers in parallel to learn the highest timestamp, then writes
+``(max.seq + 1, writer_index, value)`` into its own register; a multi-writer
+read reads all ``n`` registers in parallel and returns the maximum pair.
+
+Round accounting over a substrate with ``r`` read rounds and ``w`` write
+rounds: MWMR reads cost ``r + w`` rounds (all SWMR atomic reads share
+physical rounds), MWMR writes cost ``(r + w) + w``.  With the GV06 substrate
+that is 4-round reads and 6-round writes — the price of multi-writer
+on top of the paper's time-optimal SWMR storage.
+
+Because every logical register is flattened onto the same physical objects
+by :mod:`repro.registers.multiplex`, the object side is a single
+:class:`~repro.registers.multiplex.MultiplexObjectHandler` over the
+substrate handler, regardless of nesting depth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.registers.base import ProtocolContext, RegisterProtocol
+from repro.registers.multiplex import MultiplexObjectHandler, multiplex
+from repro.registers.timestamps import max_candidate
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.sim.network import DeliveryPolicy
+from repro.sim.process import FaultBehavior, ObjectServer
+from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
+from repro.sim.tracing import MessageTrace
+from repro.spec.history import History, HistoryRecorder
+from repro.types import ProcessId, TaggedValue, Timestamp, object_ids, reader_id, writer_id
+
+
+class MultiWriterRegisterSystem:
+    """A complete MWMR atomic storage system on simulated Byzantine objects.
+
+    Unlike :class:`~repro.registers.base.RegisterSystem` (single writer),
+    this harness owns the whole writer family.  Histories it produces have
+    multiple writers and are checked with the general linearizability
+    checker rather than the SWMR atomicity checker.
+
+    Args:
+        substrate_factory: produces fresh regular-register substrate
+            instances (e.g. ``lambda: FastRegularProtocol()``).
+        t: fault threshold; ``S`` defaults to ``3t + 1``.
+        n_writers / n_readers: the MWMR client population.
+    """
+
+    def __init__(
+        self,
+        substrate_factory: Callable[[], RegisterProtocol],
+        t: int,
+        S: int | None = None,
+        n_writers: int = 2,
+        n_readers: int = 2,
+        behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
+        policy: DeliveryPolicy | None = None,
+    ) -> None:
+        if n_writers < 1:
+            raise ConfigurationError("need at least one writer")
+        if S is None:
+            S = 3 * t + 1
+        probe = substrate_factory()
+        probe.validate_configuration(S, t)
+        self.ctx = ProtocolContext(S=S, t=t, objects=object_ids(S))
+        self.n_writers = n_writers
+        self.n_readers = n_readers
+        total_personas = n_writers + n_readers
+        # One SWMR atomic register per writer; every client is a potential
+        # reader of every register, so each transform carries all personas.
+        self._registers: dict[int, RegularToAtomicProtocol] = {
+            j: RegularToAtomicProtocol(substrate_factory, n_readers=total_personas)
+            for j in range(1, n_writers + 1)
+        }
+        behaviors = dict(behaviors or {})
+        if len(behaviors) > t:
+            raise ConfigurationError(f"{len(behaviors)} faulty objects exceed t={t}")
+        handler_source = substrate_factory()
+        self.servers = [
+            ObjectServer(
+                pid=pid,
+                handler=MultiplexObjectHandler(handler_source.object_handler()),
+                behavior=behaviors.get(pid),
+            )
+            for pid in self.ctx.objects
+        ]
+        self.recorder = HistoryRecorder()
+        self.trace = MessageTrace()
+        self.simulator = Simulator(
+            self.servers, policy=policy, history=self.recorder, trace=self.trace
+        )
+        sample = self._registers[1]
+        self.read_rounds = sample.read_rounds
+        self.write_rounds = sample.read_rounds + sample.write_rounds
+
+    # ------------------------------------------------------------------ #
+    # Personas
+    # ------------------------------------------------------------------ #
+
+    def _writer_pid(self, writer_index: int) -> ProcessId:
+        if not 1 <= writer_index <= self.n_writers:
+            raise ConfigurationError(f"writer index {writer_index} out of range")
+        return ProcessId("writer", writer_index)
+
+    def _writer_persona(self, writer_index: int) -> ProcessId:
+        """Reader persona a writer uses when scanning registers."""
+        return reader_id(writer_index)
+
+    def _reader_persona(self, reader_index: int) -> ProcessId:
+        if not 1 <= reader_index <= self.n_readers:
+            raise ConfigurationError(f"reader index {reader_index} out of range")
+        return reader_id(self.n_writers + reader_index)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def _scan_generator(self, persona: ProcessId) -> ProtocolGenerator:
+        """Read all writer registers in parallel; return the max pair."""
+        reads = {
+            f"w{j}": self._registers[j].read_tagged_generator(self.ctx, persona)
+            for j in sorted(self._registers)
+        }
+
+        def generator() -> ProtocolGenerator:
+            observed: Mapping[str, TaggedValue] = yield from multiplex(reads)
+            return max_candidate(observed.values())
+
+        return generator()
+
+    def write(self, writer_index: int, value: Any, at: int = 0) -> ClientOperation:
+        """Schedule a multi-writer write of ``value`` by writer ``writer_index``."""
+        writer_pid = self._writer_pid(writer_index)  # validates the index
+        persona = self._writer_persona(writer_index)
+        scan = self._scan_generator(persona)
+        register = self._registers[writer_index]
+        ctx = self.ctx
+
+        def generator() -> ProtocolGenerator:
+            best: TaggedValue = yield from scan
+            ts = Timestamp(best.ts.seq + 1, writer_index)
+            store = register.write_tagged_generator(ctx, TaggedValue(ts=ts, value=value))
+            yield from multiplex({f"w{writer_index}": store})
+            return value
+
+        return self.simulator.invoke(
+            writer_pid, "write", generator(), at=at, declared_value=value
+        )
+
+    def read(self, reader_index: int, at: int = 0) -> ClientOperation:
+        """Schedule a multi-writer read by reader ``reader_index``."""
+        persona = self._reader_persona(reader_index)
+        scan = self._scan_generator(persona)
+
+        def generator() -> ProtocolGenerator:
+            best: TaggedValue = yield from scan
+            return best.value
+
+        return self.simulator.invoke(reader_id(1000 + reader_index), "read", generator(), at=at)
+
+    def run(self) -> None:
+        """Run the simulation to quiescence."""
+        self.simulator.run()
+
+    def history(self) -> History:
+        """The recorded multi-writer history (check with ``is_linearizable``)."""
+        return self.recorder.freeze()

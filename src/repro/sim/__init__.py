@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation of the paper's system model.
+
+The model (Section 2 of the paper): an asynchronous message-passing system
+with reliable point-to-point channels between *clients* (one writer, ``R``
+readers) and ``S`` *storage objects*.  Objects are passive — they never send
+messages except in reply to a client message — and up to ``t`` of them may be
+malicious.  Clients may crash.
+
+Two execution styles are provided on top of the same process abstractions:
+
+* :class:`~repro.sim.simulator.Simulator` — an event-loop with virtual time
+  and pluggable delivery policies, used for end-to-end protocol runs,
+  randomized testing, and latency benchmarks.
+* the scripted partial-run driver in :mod:`repro.core.runs` — used by the
+  lower-bound constructions, which need exact per-round, per-block control.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.network import DeliveryPolicy, FifoDelivery, HeldMessage, Message, Network, RandomDelivery
+from repro.sim.process import FaultBehavior, ObjectHandler, ObjectServer
+from repro.sim.rounds import ReplyRule, RoundOutcome, RoundSpec
+from repro.sim.simulator import ClientOperation, Simulator
+from repro.sim.tracing import MessageTrace, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Message",
+    "HeldMessage",
+    "Network",
+    "DeliveryPolicy",
+    "FifoDelivery",
+    "RandomDelivery",
+    "ObjectHandler",
+    "ObjectServer",
+    "FaultBehavior",
+    "RoundSpec",
+    "RoundOutcome",
+    "ReplyRule",
+    "Simulator",
+    "ClientOperation",
+    "MessageTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,82 @@
+"""Virtual-time event queue.
+
+Events carry an integral virtual time and a monotonically increasing sequence
+number, so two events scheduled for the same instant pop in scheduling order.
+This makes every simulation fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """One scheduled occurrence: run ``action`` at virtual time ``time``."""
+
+    time: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: int, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event, advancing time."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        if event.time < self._now:
+            raise SimulationError(f"event scheduled in the past: {event}")
+        self._now = event.time
+        return event
+
+    def peek_time(self) -> int | None:
+        """Virtual time of the next event, or None when the queue is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def run_all(self, max_events: int | None = None) -> int:
+        """Pop-and-run events until the queue drains.
+
+        Returns the number of events executed.  ``max_events`` guards against
+        runaway protocols (an exceeded budget raises
+        :class:`~repro.errors.SimulationError`).
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"event budget of {max_events} exhausted")
+            event = self.pop()
+            event.action()
+            executed += 1
+        return executed

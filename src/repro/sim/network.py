@@ -1,0 +1,236 @@
+"""Reliable point-to-point channels with adversary-controlled timing.
+
+Channels are reliable (no loss, no duplication, no corruption of messages in
+transit — Byzantine *objects* lie at the endpoint, not the wire) and FIFO per
+ordered pair of processes.  The *delivery policy* decides how long each
+message spends in transit; it may also *hold* a message indefinitely, which
+models the unbounded asynchrony the lower-bound proofs exploit (a held
+message is "in transit" at the end of a partial run).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ChannelError
+from repro.sim.events import EventQueue
+from repro.types import OperationId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message between a client and an object.
+
+    ``op``/``round_no``/``tag`` identify the protocol round the message
+    belongs to; ``payload`` is the protocol-specific content.  ``is_reply``
+    distinguishes an object's response from a client's invocation.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    op: OperationId
+    round_no: int
+    tag: str
+    payload: Mapping[str, Any]
+    is_reply: bool = False
+
+    def __str__(self) -> str:
+        arrow = "<-" if self.is_reply else "->"
+        return f"{self.src}{arrow}{self.dst} {self.op} rnd{self.round_no} {self.tag}"
+
+
+@dataclass(slots=True)
+class HeldMessage:
+    """A message the delivery policy left in transit indefinitely."""
+
+    message: Message
+    sent_at: int
+    released: bool = False
+
+
+class DeliveryPolicy:
+    """Strategy deciding the in-transit delay of every message.
+
+    Return an integer delay to schedule delivery, or ``None`` to hold the
+    message indefinitely (it can be released later through
+    :meth:`Network.release_held`).
+    """
+
+    def delay(self, message: Message, now: int) -> int | None:
+        raise NotImplementedError
+
+
+class FifoDelivery(DeliveryPolicy):
+    """Deliver every message after a fixed delay (default: one tick)."""
+
+    def __init__(self, latency: int = 1) -> None:
+        if latency < 1:
+            raise ChannelError("latency must be at least one tick")
+        self.latency = latency
+
+    def delay(self, message: Message, now: int) -> int | None:
+        return self.latency
+
+
+class RandomDelivery(DeliveryPolicy):
+    """Deliver after a seeded-random delay in ``[min_latency, max_latency]``.
+
+    Useful for shaking out order dependence in protocols; determinism is
+    preserved because the RNG is owned and seeded by the policy.
+    """
+
+    def __init__(self, seed: int = 0, min_latency: int = 1, max_latency: int = 10) -> None:
+        if not 1 <= min_latency <= max_latency:
+            raise ChannelError("need 1 <= min_latency <= max_latency")
+        self._rng = random.Random(seed)
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+
+    def delay(self, message: Message, now: int) -> int | None:
+        return self._rng.randint(self.min_latency, self.max_latency)
+
+
+class SelectiveHold(DeliveryPolicy):
+    """Hold messages matching a predicate; delegate the rest.
+
+    The lower-bound adversary uses this to keep chosen replies "in transit".
+    """
+
+    def __init__(self, hold_if: Callable[[Message], bool], base: DeliveryPolicy | None = None) -> None:
+        self.hold_if = hold_if
+        self.base = base or FifoDelivery()
+
+    def delay(self, message: Message, now: int) -> int | None:
+        if self.hold_if(message):
+            return None
+        return self.base.delay(message, now)
+
+
+class Network:
+    """The message fabric binding processes to the event queue.
+
+    Responsibilities: route messages, enforce per-channel FIFO order, apply
+    the delivery policy, park held messages, and notify an optional trace.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        policy: DeliveryPolicy | None = None,
+        trace: "Any | None" = None,
+    ) -> None:
+        self._queue = queue
+        self.policy = policy or FifoDelivery()
+        self.trace = trace
+        self._handlers: dict[ProcessId, Callable[[Message], None]] = {}
+        self._held: list[HeldMessage] = []
+        # Per-channel watermark of the latest scheduled delivery time,
+        # used to keep channels FIFO under variable delays.
+        self._fifo_watermark: dict[tuple[ProcessId, ProcessId], int] = {}
+        # Scheduled (not held) deliveries per operation round: when the
+        # count drops to zero the round has no message left in flight and
+        # the quiescence listener (the simulator) is told — this is what
+        # lets "wait for all plausibly-correct replies" resolve mid-run.
+        self._inflight: dict[tuple[Any, int], int] = {}
+        self.quiescence_listener: Callable[[Any, int], None] | None = None
+
+    def attach(self, pid: ProcessId, handler: Callable[[Message], None]) -> None:
+        """Register the message handler of process ``pid``."""
+        self._handlers[pid] = handler
+
+    def detach(self, pid: ProcessId) -> None:
+        """Remove a process (it stops receiving; models a crashed client)."""
+        self._handlers.pop(pid, None)
+
+    @property
+    def held_messages(self) -> tuple[HeldMessage, ...]:
+        """Messages currently parked in transit."""
+        return tuple(h for h in self._held if not h.released)
+
+    def send(self, message: Message) -> None:
+        """Hand ``message`` to the fabric.
+
+        The destination must be attached now or by delivery time; sending to
+        a never-attached process raises :class:`~repro.errors.ChannelError`
+        at delivery.
+        """
+        if self.trace is not None:
+            self.trace.record_send(self._queue.now, message)
+        delay = self.policy.delay(message, self._queue.now)
+        if delay is None:
+            self._held.append(HeldMessage(message=message, sent_at=self._queue.now))
+            if self.trace is not None:
+                self.trace.record_hold(self._queue.now, message)
+            return
+        self._schedule_delivery(message, delay)
+
+    def release_held(self, match: Callable[[Message], bool] | None = None, delay: int = 1) -> int:
+        """Release held messages (all, or those matching ``match``).
+
+        Returns the number of messages released.  Released messages are
+        delivered in their original send order, preserving channel FIFO.
+        """
+        released = 0
+        for held in self._held:
+            if held.released:
+                continue
+            if match is not None and not match(held.message):
+                continue
+            held.released = True
+            self._schedule_delivery(held.message, delay)
+            released += 1
+        return released
+
+    def _schedule_delivery(self, message: Message, delay: int) -> None:
+        channel = (message.src, message.dst)
+        deliver_at = self._queue.now + max(1, delay)
+        watermark = self._fifo_watermark.get(channel, 0)
+        deliver_at = max(deliver_at, watermark)  # never overtake an earlier message
+        self._fifo_watermark[channel] = deliver_at
+        round_key = (message.op, message.round_no)
+        self._inflight[round_key] = self._inflight.get(round_key, 0) + 1
+        self._queue.schedule(
+            deliver_at - self._queue.now,
+            lambda m=message: self._deliver(m),
+            label=f"deliver {message}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is not None:
+            if self.trace is not None:
+                self.trace.record_delivery(self._queue.now, message)
+            handler(message)  # may schedule more messages for this round
+        elif self.trace is not None:
+            # A crashed/detached client: the message is dropped on the floor,
+            # which is indistinguishable from the client never reading it.
+            self.trace.record_drop(self._queue.now, message)
+        round_key = (message.op, message.round_no)
+        remaining = self._inflight.get(round_key, 1) - 1
+        if remaining > 0:
+            self._inflight[round_key] = remaining
+            return
+        self._inflight.pop(round_key, None)
+        if self.quiescence_listener is not None:
+            self.quiescence_listener(message.op, message.round_no)
+
+
+def broadcast(
+    network: Network,
+    src: ProcessId,
+    destinations: Iterable[ProcessId],
+    op: OperationId,
+    round_no: int,
+    tag: str,
+    payload: Mapping[str, Any],
+) -> int:
+    """Send one invocation message to every destination; returns the count."""
+    count = 0
+    for dst in destinations:
+        network.send(
+            Message(src=src, dst=dst, op=op, round_no=round_no, tag=tag, payload=payload)
+        )
+        count += 1
+    return count

@@ -1,0 +1,147 @@
+"""Process automata: storage objects and their fault behaviours.
+
+A storage object is passive: on receiving a client message it updates its
+local state and replies immediately, exactly as Definition 1 of the paper
+requires ("objects, on receiving such a message, reply to the client before
+receiving any other messages").  The protocol-specific part lives in an
+:class:`ObjectHandler`; the :class:`ObjectServer` wraps it with the fault
+behaviour (if any), state snapshotting, and network plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.sim.network import Message, Network
+from repro.types import ProcessId
+
+
+def copy_state(value: Any) -> Any:
+    """Structural copy of a protocol state.
+
+    Protocol states are nests of dict/list/set containers whose leaves are
+    immutable (ints, strings, :class:`~repro.types.TaggedValue`,
+    :class:`~repro.types.Timestamp`, tuples thereof).  Copying only the
+    containers gives deep-copy semantics at a fraction of the cost — the
+    lower-bound constructions snapshot object state before *every* delivery,
+    so this is the hottest function in the proof engine.
+    """
+    if isinstance(value, dict):
+        return {key: copy_state(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [copy_state(item) for item in value]
+    if isinstance(value, set):
+        return set(value)
+    return value
+
+
+class ObjectHandler:
+    """Protocol-specific logic of one storage object.
+
+    Implementations are pure with respect to the harness: they see a mutable
+    ``state`` dict and the invocation message, mutate the state, and return
+    the reply payload.  One handler class per protocol.
+    """
+
+    def initial_state(self) -> dict[str, Any]:
+        """Fresh per-object state."""
+        raise NotImplementedError
+
+    def handle(self, state: dict[str, Any], message: Message) -> Mapping[str, Any]:
+        """Apply ``message`` to ``state`` and return the reply payload."""
+        raise NotImplementedError
+
+
+class FaultBehavior:
+    """How a faulty object deviates from its handler.
+
+    The behaviour sees the honest reply the handler *would* have produced and
+    may replace it (lie), or suppress it (return ``None`` — silence).  The
+    honest state update has already happened when :meth:`reply` runs; a
+    behaviour that wants to present forged state must build its own payload.
+    """
+
+    def reply(
+        self,
+        server: "ObjectServer",
+        message: Message,
+        honest_payload: Mapping[str, Any],
+    ) -> Mapping[str, Any] | None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable label used by traces and diagrams."""
+        return type(self).__name__
+
+
+@dataclass(slots=True)
+class ObjectServer:
+    """One storage object bound to the network.
+
+    Attributes:
+        pid: the object's process identifier (``s_i``).
+        handler: protocol logic producing honest replies.
+        behavior: fault behaviour, or ``None`` for a correct object.
+        state: the protocol state dict (owned by the handler).
+    """
+
+    pid: ProcessId
+    handler: ObjectHandler
+    behavior: FaultBehavior | None = None
+    state: dict[str, Any] = field(default_factory=dict)
+    messages_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.state:
+            self.state = self.handler.initial_state()
+
+    @property
+    def is_faulty(self) -> bool:
+        """True when a fault behaviour is installed."""
+        return self.behavior is not None
+
+    def snapshot(self) -> dict[str, Any]:
+        """Copy of the current protocol state (σ in the proofs)."""
+        return copy_state(self.state)
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Overwrite the protocol state with a copy of ``snapshot``."""
+        self.state = copy_state(dict(snapshot))
+
+    def receive(self, message: Message) -> Mapping[str, Any] | None:
+        """Process one invocation; return the reply payload or None (silent).
+
+        Correct objects always reply.  Faulty objects consult their
+        behaviour, which may forge or suppress the reply.  Either way the
+        *honest* state transition is applied first, so a later repair (e.g. a
+        Byzantine object acting correctly again) resumes from plausible
+        state — this matches the proofs, where malicious objects hold genuine
+        states and merely *present* old ones.
+        """
+        self.messages_seen += 1
+        honest = self.handler.handle(self.state, message)
+        if self.behavior is None:
+            return honest
+        return self.behavior.reply(self, message, honest)
+
+    def attach(self, network: Network) -> None:
+        """Wire this object into ``network``: reply to every delivery."""
+
+        def on_message(message: Message, _network: Network = network) -> None:
+            payload = self.receive(message)
+            if payload is None:
+                return
+            _network.send(
+                Message(
+                    src=self.pid,
+                    dst=message.src,
+                    op=message.op,
+                    round_no=message.round_no,
+                    tag=message.tag,
+                    payload=payload,
+                    is_reply=True,
+                )
+            )
+
+        network.attach(self.pid, on_message)

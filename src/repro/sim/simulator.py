@@ -1,0 +1,319 @@
+"""The event-loop simulator driving clients against storage objects.
+
+The :class:`Simulator` owns the event queue, the network, the object
+servers, and the set of in-flight client operations.  Client protocols are
+generators over :class:`~repro.sim.rounds.RoundSpec` (see
+:mod:`repro.sim.rounds`); the simulator advances them as replies arrive.
+
+Quiescence semantics: :meth:`Simulator.run` drains the event queue, then
+repeatedly offers every still-pending round the chance to terminate under its
+``accept_on_quiescence`` rule; accepting may send new messages (a new round),
+so the drain/offer cycle repeats until a fixed point.  Operations still
+pending at the fixed point are *incomplete* — the run is a partial run in the
+paper's sense, with held messages in transit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, Mapping, Sequence
+
+from repro.errors import ProtocolError, SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.network import DeliveryPolicy, Message, Network, broadcast
+from repro.sim.process import ObjectServer
+from repro.sim.rounds import ReplySet, RoundOutcome, RoundRecord, RoundSpec
+from repro.types import OperationId, ProcessId, fresh_operation_id
+
+#: A client protocol: a generator yielding RoundSpec and returning the
+#: operation's result via ``return``.
+ProtocolGenerator = Generator[RoundSpec, RoundOutcome, Any]
+
+
+class OperationStatus(enum.Enum):
+    """Lifecycle of a client operation."""
+
+    PENDING = "pending"
+    COMPLETE = "complete"
+    ABORTED = "aborted"
+
+
+@dataclass(slots=True)
+class ClientOperation:
+    """One in-flight or finished read/write operation."""
+
+    op_id: OperationId
+    client: ProcessId
+    generator: ProtocolGenerator
+    invoked_at: int
+    status: OperationStatus = OperationStatus.PENDING
+    result: Any = None
+    completed_at: int | None = None
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def rounds_used(self) -> int:
+        """Number of rounds the operation has started."""
+        return len(self.rounds)
+
+    @property
+    def current_round(self) -> RoundRecord | None:
+        """The round currently collecting replies, if any."""
+        if self.rounds and not self.rounds[-1].terminated:
+            return self.rounds[-1]
+        return None
+
+
+class Simulator:
+    """Deterministic simulation of clients operating on storage objects.
+
+    Args:
+        objects: the ``S`` storage object servers (correct and faulty).
+        policy: delivery policy; defaults to FIFO unit latency.
+        history: optional history recorder with ``record_invocation`` /
+            ``record_response`` methods (see :mod:`repro.spec.history`).
+        trace: optional message trace (see :mod:`repro.sim.tracing`).
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[ObjectServer],
+        policy: DeliveryPolicy | None = None,
+        history: Any | None = None,
+        trace: Any | None = None,
+    ) -> None:
+        if not objects:
+            raise SimulationError("a storage system needs at least one object")
+        self.queue = EventQueue()
+        self.trace = trace
+        self.network = Network(self.queue, policy=policy, trace=trace)
+        self.network.quiescence_listener = self._on_round_quiescent
+        self.objects: dict[ProcessId, ObjectServer] = {}
+        for server in objects:
+            if server.pid in self.objects:
+                raise SimulationError(f"duplicate object id {server.pid}")
+            self.objects[server.pid] = server
+            server.attach(self.network)
+        self.history = history
+        self.operations: list[ClientOperation] = []
+        self._by_op: dict[OperationId, ClientOperation] = {}
+        self._attached_clients: set[ProcessId] = set()
+        self._busy_clients: set[ProcessId] = set()
+
+    # ------------------------------------------------------------------ #
+    # Invocation and progress
+    # ------------------------------------------------------------------ #
+
+    @property
+    def object_ids(self) -> tuple[ProcessId, ...]:
+        """All object identifiers in deterministic order."""
+        return tuple(sorted(self.objects))
+
+    @property
+    def now(self) -> int:
+        """Current virtual time."""
+        return self.queue.now
+
+    def faulty_objects(self) -> tuple[ProcessId, ...]:
+        """Identifiers of objects with an installed fault behaviour."""
+        return tuple(pid for pid in self.object_ids if self.objects[pid].is_faulty)
+
+    def invoke(
+        self,
+        client: ProcessId,
+        kind: str,
+        generator: ProtocolGenerator,
+        at: int = 0,
+        declared_value: Any = None,
+    ) -> ClientOperation:
+        """Schedule an operation invocation at virtual time ``now + at``.
+
+        ``declared_value`` is what gets recorded in the history for a write
+        invocation (reads record their result at response time).  The model
+        allows at most one outstanding operation per client; violations raise
+        :class:`~repro.errors.ProtocolError` at start time.
+        """
+        op_id = fresh_operation_id(client, kind)
+        operation = ClientOperation(
+            op_id=op_id,
+            client=client,
+            generator=generator,
+            invoked_at=self.queue.now + at,
+        )
+        self.operations.append(operation)
+        self._by_op[op_id] = operation
+        self._ensure_client_attached(client)
+
+        def start() -> None:
+            if operation.client in self._busy_clients:
+                raise ProtocolError(
+                    f"{operation.client} invoked {op_id} while another operation is outstanding"
+                )
+            self._busy_clients.add(operation.client)
+            operation.invoked_at = self.queue.now
+            if self.history is not None:
+                self.history.record_invocation(
+                    op_id, kind=kind, value=declared_value, time=self.queue.now
+                )
+            self._advance(operation, first=True)
+
+        self.queue.schedule(at, start, label=f"invoke {op_id}")
+        return operation
+
+    def abort(self, operation: ClientOperation) -> None:
+        """Crash the client of ``operation``: it stops taking steps."""
+        if operation.status is OperationStatus.PENDING:
+            operation.status = OperationStatus.ABORTED
+            self._busy_clients.discard(operation.client)
+            self.network.detach(operation.client)
+            self._attached_clients.discard(operation.client)
+
+    def run(self, max_events: int | None = 1_000_000) -> None:
+        """Drain events, resolving quiescence, until a global fixed point."""
+        while True:
+            self.queue.run_all(max_events=max_events)
+            if not self._resolve_quiescence():
+                return
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _ensure_client_attached(self, client: ProcessId) -> None:
+        if client in self._attached_clients:
+            return
+        self._attached_clients.add(client)
+        self.network.attach(client, self._on_client_message)
+
+    def _on_client_message(self, message: Message) -> None:
+        if not message.is_reply:
+            raise ProtocolError(f"client received a non-reply message: {message}")
+        operation = self._by_op.get(message.op)
+        if operation is None or operation.status is not OperationStatus.PENDING:
+            return  # stale reply to a finished/aborted operation
+        record = self._round_record(operation, message.round_no)
+        if record is None or record.terminated:
+            return  # late reply to an already-terminated round; keep for audit
+        if message.src in record.replies:
+            return  # duplicate (cannot happen over reliable FIFO, but be safe)
+        record.replies[message.src] = message.payload
+        current = operation.current_round
+        if current is record and record.spec.rule.satisfied(record.replies):
+            self._finish_round(operation, record, quiesced=False)
+
+    def _round_record(self, operation: ClientOperation, round_no: int) -> RoundRecord | None:
+        index = round_no - 1
+        if 0 <= index < len(operation.rounds):
+            return operation.rounds[index]
+        return None
+
+    def _finish_round(self, operation: ClientOperation, record: RoundRecord, quiesced: bool) -> None:
+        record.terminated = True
+        outcome = RoundOutcome(
+            round_no=record.round_no,
+            replies=dict(record.replies),
+            quiesced=quiesced,
+            terminated_at=self.queue.now,
+        )
+        self._advance(operation, outcome=outcome)
+
+    def _advance(
+        self,
+        operation: ClientOperation,
+        outcome: RoundOutcome | None = None,
+        first: bool = False,
+    ) -> None:
+        try:
+            if first:
+                spec = next(operation.generator)
+            else:
+                spec = operation.generator.send(outcome)
+        except StopIteration as stop:
+            self._complete(operation, stop.value)
+            return
+        self._start_round(operation, spec)
+
+    def _start_round(self, operation: ClientOperation, spec: RoundSpec) -> None:
+        round_no = len(operation.rounds) + 1
+        record = RoundRecord(spec=spec, round_no=round_no, started_at=self.queue.now)
+        operation.rounds.append(record)
+        destinations: Iterable[ProcessId] = spec.destinations or self.object_ids
+        for dst in destinations:
+            self.network.send(
+                Message(
+                    src=operation.client,
+                    dst=dst,
+                    op=operation.op_id,
+                    round_no=round_no,
+                    tag=spec.tag,
+                    payload=spec.payload_for(dst),
+                )
+            )
+
+    def _complete(self, operation: ClientOperation, result: Any) -> None:
+        operation.status = OperationStatus.COMPLETE
+        operation.result = result
+        operation.completed_at = self.queue.now
+        self._busy_clients.discard(operation.client)
+        if self.history is not None:
+            self.history.record_response(operation.op_id, value=result, time=self.queue.now)
+
+    def _on_round_quiescent(self, op_id: OperationId, round_no: int) -> None:
+        """Called by the network when a round has no message left in flight.
+
+        This resolves ``accept_on_quiescence`` rules *mid-run*: a round that
+        will never hear another reply (everything undelivered is held, i.e.
+        indefinitely in transit) may terminate immediately instead of
+        waiting for the whole simulation to drain.
+        """
+        operation = self._by_op.get(op_id)
+        if operation is None or operation.status is not OperationStatus.PENDING:
+            return
+        record = operation.current_round
+        if record is None or record.round_no != round_no:
+            return
+        rule = record.spec.rule
+        if rule.satisfied(record.replies):
+            self._finish_round(operation, record, quiesced=False)
+        elif rule.acceptable_at_quiescence(record.replies):
+            self._finish_round(operation, record, quiesced=True)
+
+    def _resolve_quiescence(self) -> bool:
+        """Offer quiesced termination to pending rounds; True if any advanced."""
+        progressed = False
+        for operation in self.operations:
+            if operation.status is not OperationStatus.PENDING:
+                continue
+            record = operation.current_round
+            if record is None:
+                continue
+            rule = record.spec.rule
+            if rule.satisfied(record.replies):
+                self._finish_round(operation, record, quiesced=False)
+                progressed = True
+            elif rule.acceptable_at_quiescence(record.replies):
+                self._finish_round(operation, record, quiesced=True)
+                progressed = True
+        return progressed
+
+    # ------------------------------------------------------------------ #
+    # Inspection helpers
+    # ------------------------------------------------------------------ #
+
+    def pending_operations(self) -> list[ClientOperation]:
+        """Operations that have neither completed nor aborted."""
+        return [op for op in self.operations if op.status is OperationStatus.PENDING]
+
+    def completed_operations(self) -> list[ClientOperation]:
+        """Operations that returned a result."""
+        return [op for op in self.operations if op.status is OperationStatus.COMPLETE]
+
+    def max_rounds_used(self, kind: str | None = None) -> int:
+        """Worst-case rounds over completed operations (optionally by kind)."""
+        rounds = [
+            op.rounds_used
+            for op in self.completed_operations()
+            if kind is None or op.op_id.kind == kind
+        ]
+        return max(rounds, default=0)

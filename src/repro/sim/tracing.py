@@ -1,0 +1,148 @@
+"""Message traces: the observable record of a simulation run.
+
+A :class:`MessageTrace` collects every send/hold/delivery with its virtual
+time.  Traces serve three purposes: debugging, latency accounting (rounds are
+recounted from the wire, cross-checking the engine's own bookkeeping), and
+extracting per-client *reply transcripts* — the basis of the
+indistinguishability arguments in the lower-bound constructions (a reader
+cannot distinguish two runs in which it receives identical reply sequences).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.sim.network import Message
+from repro.types import OperationId, ProcessId
+
+
+class TraceKind(enum.Enum):
+    """What happened to a message at a trace point."""
+
+    SEND = "send"
+    HOLD = "hold"
+    DELIVER = "deliver"
+    DROP = "drop"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observation: ``message`` underwent ``kind`` at ``time``."""
+
+    time: int
+    kind: TraceKind
+    message: Message
+
+
+@dataclass(frozen=True, slots=True)
+class TranscriptEntry:
+    """One reply as the client observed it (payload made hashable)."""
+
+    round_no: int
+    source: ProcessId
+    tag: str
+    payload_items: tuple[tuple[str, Any], ...]
+
+    @classmethod
+    def from_message(cls, message: Message) -> "TranscriptEntry":
+        return cls(
+            round_no=message.round_no,
+            source=message.src,
+            tag=message.tag,
+            payload_items=_freeze(message.payload),
+        )
+
+
+def _freeze(payload: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
+    """Canonical hashable form of a reply payload (sorted key/value pairs)."""
+    items = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, Mapping):
+            value = _freeze(value)
+        elif isinstance(value, (list, set)):
+            value = tuple(sorted(map(repr, value)))
+        items.append((key, value))
+    return tuple(items)
+
+
+class MessageTrace:
+    """Trace sink handed to :class:`~repro.sim.network.Network`."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record_send(self, time: int, message: Message) -> None:
+        self.events.append(TraceEvent(time, TraceKind.SEND, message))
+
+    def record_hold(self, time: int, message: Message) -> None:
+        self.events.append(TraceEvent(time, TraceKind.HOLD, message))
+
+    def record_delivery(self, time: int, message: Message) -> None:
+        self.events.append(TraceEvent(time, TraceKind.DELIVER, message))
+
+    def record_drop(self, time: int, message: Message) -> None:
+        self.events.append(TraceEvent(time, TraceKind.DROP, message))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def delivered_to(self, pid: ProcessId) -> list[Message]:
+        """Messages actually delivered to ``pid``, in delivery order."""
+        return [
+            event.message
+            for event in self.events
+            if event.kind is TraceKind.DELIVER and event.message.dst == pid
+        ]
+
+    def replies_for_operation(self, op_id: OperationId) -> list[Message]:
+        """Replies delivered to the invoking client of ``op_id``."""
+        return [
+            event.message
+            for event in self.events
+            if event.kind is TraceKind.DELIVER
+            and event.message.is_reply
+            and event.message.op == op_id
+        ]
+
+    def client_transcript(self, op_id: OperationId) -> tuple[TranscriptEntry, ...]:
+        """The reply transcript of one operation (order-insensitive form).
+
+        Two partial runs are indistinguishable to a reader exactly when the
+        transcripts of its operations are equal as multisets per round; the
+        tuple returned here is sorted to make that comparison a plain ``==``.
+        """
+        entries = [TranscriptEntry.from_message(m) for m in self.replies_for_operation(op_id)]
+        return tuple(sorted(entries, key=lambda e: (e.round_no, e.source, e.payload_items)))
+
+    def messages_between(self, src: ProcessId, dst: ProcessId) -> list[Message]:
+        """All sends from ``src`` to ``dst`` in send order."""
+        return [
+            event.message
+            for event in self.events
+            if event.kind is TraceKind.SEND
+            and event.message.src == src
+            and event.message.dst == dst
+        ]
+
+    def round_trip_count(self, op_id: OperationId) -> int:
+        """Rounds observed on the wire for ``op_id`` (max round number sent)."""
+        rounds = {
+            event.message.round_no
+            for event in self.events
+            if event.kind is TraceKind.SEND
+            and not event.message.is_reply
+            and event.message.op == op_id
+        }
+        return max(rounds, default=0)
+
+
+def merge_transcripts(traces: Iterable[MessageTrace], op_id: OperationId) -> tuple[TranscriptEntry, ...]:
+    """Union of transcripts for ``op_id`` across several traces, sorted."""
+    entries: list[TranscriptEntry] = []
+    for trace in traces:
+        entries.extend(trace.client_transcript(op_id))
+    return tuple(sorted(entries, key=lambda e: (e.round_no, e.source, e.payload_items)))

@@ -1,0 +1,27 @@
+"""Consistency specifications and checkers.
+
+The paper defines SWMR atomicity through four properties (Section 2.2); this
+package implements that definition verbatim (:mod:`repro.spec.atomicity`),
+the weaker regular and safe semantics of Lamport
+(:mod:`repro.spec.regularity`, :mod:`repro.spec.safety`), and a general
+linearizability checker (:mod:`repro.spec.linearizability`) used to
+cross-validate the atomicity checker on small histories and to check MWMR
+executions.
+"""
+
+from repro.spec.history import History, HistoryRecorder, OperationRecord
+from repro.spec.atomicity import AtomicityVerdict, check_swmr_atomicity
+from repro.spec.regularity import check_swmr_regularity
+from repro.spec.safety import check_swmr_safety
+from repro.spec.linearizability import is_linearizable
+
+__all__ = [
+    "History",
+    "HistoryRecorder",
+    "OperationRecord",
+    "AtomicityVerdict",
+    "check_swmr_atomicity",
+    "check_swmr_regularity",
+    "check_swmr_safety",
+    "is_linearizable",
+]

@@ -1,0 +1,147 @@
+"""SWMR atomicity, checked exactly as defined in Section 2.2 of the paper.
+
+A partial run satisfies atomicity iff there is an assignment of a write index
+``idx(rd)`` to every complete read such that:
+
+1. *(validity)* the read returned ``val_{idx(rd)}`` — in particular some
+   write (or the initial ⊥, index 0) produced the returned value;
+2. *(no stale reads)* if ``rd`` succeeds a complete ``wr_k`` then
+   ``idx(rd) ≥ k``;
+3. *(no reads from the future)* if ``idx(rd) = k ≥ 1`` then ``wr_k``
+   precedes ``rd`` or is concurrent with it — equivalently ``wr_k`` was
+   invoked before ``rd`` responded;
+4. *(read monotonicity)* if ``rd2`` succeeds ``rd1`` then
+   ``idx(rd2) ≥ idx(rd1)``.
+
+Because distinct writes may store equal values, the checker searches for a
+*consistent assignment* rather than judging reads one at a time: reads are
+processed in a linear extension of precedence and greedily given the smallest
+feasible index.  Greedy-minimal is complete here — lowering one read's index
+never shrinks a later read's feasible set — so failure of the greedy pass is
+failure of every assignment, and the verdict pinpoints which clause broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpecificationError
+from repro.spec.history import History, OperationRecord
+
+
+@dataclass(slots=True)
+class AtomicityVerdict:
+    """Outcome of an atomicity check.
+
+    ``ok`` is True when a consistent assignment exists; otherwise
+    ``violated_property`` names the first clause (1–4) that cannot be
+    satisfied for ``culprit``, and ``explanation`` is human-readable.
+    ``assignment`` maps each complete read to its chosen write index when
+    the check succeeds.
+    """
+
+    ok: bool
+    violated_property: int | None = None
+    culprit: OperationRecord | None = None
+    explanation: str = ""
+    assignment: dict[Any, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_swmr_atomicity(history: History) -> AtomicityVerdict:
+    """Check the four-property SWMR atomicity definition on ``history``."""
+    if not history.single_writer():
+        raise SpecificationError(
+            "this checker implements the paper's single-writer definition; "
+            "use repro.spec.linearizability for multi-writer histories"
+        )
+    values = history.written_values()  # values[k] == val_k, values[0] == ⊥
+    writes = history.writes()
+    reads = sorted(history.reads(complete_only=True), key=_linear_extension_key)
+
+    assigned: dict[Any, int] = {}
+
+    for read in reads:
+        candidates = [k for k, val in enumerate(values) if val == read.value]
+        if not candidates:
+            return AtomicityVerdict(
+                ok=False,
+                violated_property=1,
+                culprit=read,
+                explanation=(
+                    f"{read.op_id} returned {read.value!r}, which no write ever wrote "
+                    f"(written values: {values[1:]!r}, initial ⊥)"
+                ),
+            )
+
+        write_floor = 0  # property 2: last complete write preceding the read
+        for k, write in enumerate(writes, start=1):
+            if write.precedes(read):
+                write_floor = max(write_floor, k)
+
+        # Property 3: wr_k must precede rd or be concurrent with it, i.e.
+        # ¬(rd precedes wr_k).  Using the precedence predicate keeps the
+        # checker consistent with Wing–Gong at tied step numbers.
+        ceiling = 0
+        for k, write in enumerate(writes, start=1):
+            if not read.precedes(write):
+                ceiling = max(ceiling, k)
+
+        read_floor = 0  # property 4: indices of reads that precede this one
+        for other_read in reads:
+            if other_read.op_id in assigned and other_read.precedes(read):
+                read_floor = max(read_floor, assigned[other_read.op_id])
+
+        feasible = [k for k in candidates if k >= max(write_floor, read_floor) and k <= ceiling]
+        if feasible:
+            choice = min(feasible)
+            assigned[read.op_id] = choice
+            continue
+
+        # Diagnose which clause failed, most specific first.
+        below_ceiling = [k for k in candidates if k <= ceiling]
+        if not below_ceiling:
+            return AtomicityVerdict(
+                ok=False,
+                violated_property=3,
+                culprit=read,
+                explanation=(
+                    f"{read.op_id} returned {read.value!r}, but every write of that value "
+                    f"was invoked only after the read responded (read from the future)"
+                ),
+            )
+        if all(k < write_floor for k in below_ceiling):
+            return AtomicityVerdict(
+                ok=False,
+                violated_property=2,
+                culprit=read,
+                explanation=(
+                    f"{read.op_id} returned {read.value!r} (indices {below_ceiling}) although "
+                    f"it succeeds wr_{write_floor}: stale read"
+                ),
+            )
+        return AtomicityVerdict(
+            ok=False,
+            violated_property=4,
+            culprit=read,
+            explanation=(
+                f"{read.op_id} returned {read.value!r} (indices {below_ceiling}) although a "
+                f"preceding read already returned index {read_floor}: new/old inversion"
+            ),
+        )
+
+    return AtomicityVerdict(ok=True, assignment=assigned)
+
+
+def _linear_extension_key(read: OperationRecord) -> tuple[int, int]:
+    """Sort key giving a linear extension of precedence among complete reads.
+
+    If ``rd1`` precedes ``rd2`` then ``rd1.response_step < rd2.invocation_step
+    <= rd2.response_step``, so ordering by response step is a valid linear
+    extension.
+    """
+    assert read.response_step is not None
+    return (read.response_step, read.invocation_step)

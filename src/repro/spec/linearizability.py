@@ -1,0 +1,119 @@
+"""General linearizability checking for read/write registers (Wing–Gong).
+
+The SWMR atomicity checker exploits the single-writer structure; this module
+implements the general definition instead: a history is linearizable iff
+there is a total order of its operations, consistent with precedence, in
+which every read returns the value of the latest preceding write (⊥ if
+none).  Exponential in the worst case — meant for the small histories that
+tests and the MWMR transformation produce — with memoization on explored
+frontiers, which keeps realistic test histories fast.
+
+Incomplete operations are handled per the standard definition: an incomplete
+write may be taken to have happened (placed in the order) or not (dropped);
+an incomplete read can always be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable
+
+from repro.spec.history import History, OperationRecord
+from repro.types import BOTTOM
+
+
+def is_linearizable(history: History) -> bool:
+    """Whether ``history`` is linearizable as a read/write register."""
+    complete = [r for r in history.records if r.complete]
+    pending_writes = [r for r in history.records if not r.complete and r.kind == "write"]
+    operations = complete + pending_writes  # pending reads can always be dropped
+    order_index = {record.op_id: i for i, record in enumerate(operations)}
+
+    precedes: list[set[int]] = [set() for _ in operations]
+    for i, a in enumerate(operations):
+        for j, b in enumerate(operations):
+            if i != j and a.precedes(b):
+                precedes[j].add(i)
+
+    optional = {order_index[r.op_id] for r in pending_writes}
+    total = len(operations)
+    seen: set[tuple[FrozenSet[int], Any]] = set()
+
+    def explore(done: frozenset[int], current: Any) -> bool:
+        if len(done) == total:
+            return True
+        key = (done, current)
+        if key in seen:
+            return False
+        seen.add(key)
+        for i, record in enumerate(operations):
+            if i in done or not precedes[i] <= done:
+                continue
+            if record.kind == "write":
+                if explore(done | {i}, record.value):
+                    return True
+            else:
+                if record.value == current and explore(done | {i}, current):
+                    return True
+        # An incomplete write whose predecessors are all done may also be
+        # dropped: model "never took effect" by marking it done without
+        # changing the current value.
+        for i in optional:
+            if i in done or not precedes[i] <= done:
+                continue
+            # Dropping is only sound if nothing later observes it, which the
+            # search enforces naturally since the value is not installed.
+            if explore(done | {i}, current):
+                return True
+        return False
+
+    return explore(frozenset(), BOTTOM)
+
+
+def linearization_witness(history: History) -> list[OperationRecord] | None:
+    """A concrete linearization order, or None when none exists.
+
+    Same search as :func:`is_linearizable` but materializes the order; used
+    by tests and by certificate rendering.
+    """
+    complete = [r for r in history.records if r.complete]
+    pending_writes = [r for r in history.records if not r.complete and r.kind == "write"]
+    operations = complete + pending_writes
+    precedes: list[set[int]] = [set() for _ in operations]
+    for i, a in enumerate(operations):
+        for j, b in enumerate(operations):
+            if i != j and a.precedes(b):
+                precedes[j].add(i)
+    optional = {i for i, r in enumerate(operations) if not r.complete}
+    total = len(operations)
+    seen: set[tuple[FrozenSet[int], Any]] = set()
+
+    def explore(done: frozenset[int], current: Any, acc: list[int]) -> list[int] | None:
+        if len(done) == total:
+            return acc
+        key = (done, current)
+        if key in seen:
+            return None
+        seen.add(key)
+        for i, record in enumerate(operations):
+            if i in done or not precedes[i] <= done:
+                continue
+            if record.kind == "write":
+                found = explore(done | {i}, record.value, acc + [i])
+                if found is not None:
+                    return found
+            elif record.value == current:
+                found = explore(done | {i}, current, acc + [i])
+                if found is not None:
+                    return found
+        for i in optional:
+            if i in done or not precedes[i] <= done:
+                continue
+            found = explore(done | {i}, current, acc)
+            if found is not None:
+                return found
+        return None
+
+    indices = explore(frozenset(), BOTTOM, [])
+    if indices is None:
+        return None
+    return [operations[i] for i in indices]

@@ -1,0 +1,76 @@
+"""SWMR regularity (Lamport).
+
+A read of a regular register returns the value of the *last write preceding
+it* or of *some write concurrent with it*.  Compared to atomicity this drops
+read monotonicity (property 4): two sequential reads may observe a new value
+then an old one.  It is exactly the semantics of the [GV06]/[DMSS09]
+substrates that the paper's Section 5 pipes through the regular→atomic
+transformation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.spec.atomicity import AtomicityVerdict
+from repro.spec.history import History
+
+
+def check_swmr_regularity(history: History) -> AtomicityVerdict:
+    """Check SWMR regularity; reuses :class:`AtomicityVerdict` for reporting.
+
+    For each complete read independently there must be a write index ``k``
+    with ``val_k`` equal to the returned value such that:
+
+    * ``k ≥`` the index of the last complete write preceding the read
+      (freshness — clause 2 of the atomicity definition), and
+    * ``wr_k`` was invoked before the read responded (no reads from the
+      future — clause 3), with ``k = 0`` (the initial ⊥) allowed only when
+      no complete write precedes the read.
+    """
+    if not history.single_writer():
+        raise SpecificationError("regularity checker expects a single-writer history")
+    values = history.written_values()
+    writes = history.writes()
+
+    assignment = {}
+    for read in history.reads(complete_only=True):
+        candidates = [k for k, val in enumerate(values) if val == read.value]
+        if not candidates:
+            return AtomicityVerdict(
+                ok=False,
+                violated_property=1,
+                culprit=read,
+                explanation=f"{read.op_id} returned {read.value!r}, which was never written",
+            )
+        floor = 0
+        for k, write in enumerate(writes, start=1):
+            if write.precedes(read):
+                floor = max(floor, k)
+        # ¬(rd precedes wr_k): the write was invoked no later than the read
+        # responded, so the read may legitimately observe it.
+        ceiling = 0
+        for k, write in enumerate(writes, start=1):
+            if not read.precedes(write):
+                ceiling = max(ceiling, k)
+        feasible = [k for k in candidates if floor <= k <= ceiling]
+        if not feasible:
+            if all(k > ceiling for k in candidates):
+                return AtomicityVerdict(
+                    ok=False,
+                    violated_property=3,
+                    culprit=read,
+                    explanation=(
+                        f"{read.op_id} returned {read.value!r} before any write of it was invoked"
+                    ),
+                )
+            return AtomicityVerdict(
+                ok=False,
+                violated_property=2,
+                culprit=read,
+                explanation=(
+                    f"{read.op_id} returned {read.value!r} although wr_{floor} "
+                    f"completed before the read started: stale read"
+                ),
+            )
+        assignment[read.op_id] = min(feasible)
+    return AtomicityVerdict(ok=True, assignment=assignment)

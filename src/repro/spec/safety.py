@@ -1,0 +1,44 @@
+"""SWMR safeness (Lamport's *safe* register).
+
+Only reads that are **not concurrent with any write** are constrained: they
+must return the value of the last preceding write (or ⊥ when there is none).
+A read overlapping any write may return anything at all — safe registers are
+the weakest rung of Lamport's hierarchy, included here because the related
+work the paper builds on ([ABD95]'s precursors, [Abraham et al. 06]'s
+``t+1``-round bound) is stated for safe storage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecificationError
+from repro.spec.atomicity import AtomicityVerdict
+from repro.spec.history import History
+
+
+def check_swmr_safety(history: History) -> AtomicityVerdict:
+    """Check safeness: solo reads return the last completed write's value."""
+    if not history.single_writer():
+        raise SpecificationError("safety checker expects a single-writer history")
+    values = history.written_values()
+    writes = history.writes()
+
+    for read in history.reads(complete_only=True):
+        concurrent = any(read.concurrent_with(write) for write in writes)
+        if concurrent:
+            continue  # unconstrained
+        last_preceding = 0
+        for k, write in enumerate(writes, start=1):
+            if write.precedes(read):
+                last_preceding = max(last_preceding, k)
+        expected = values[last_preceding]
+        if read.value != expected:
+            return AtomicityVerdict(
+                ok=False,
+                violated_property=2,
+                culprit=read,
+                explanation=(
+                    f"solo {read.op_id} returned {read.value!r} but the last "
+                    f"complete write stored {expected!r}"
+                ),
+            )
+    return AtomicityVerdict(ok=True)

@@ -1,0 +1,149 @@
+"""Shared ground types: process identifiers, timestamps, values.
+
+The model of the paper (Section 2) distinguishes three disjoint process sets:
+*objects* (the ``S`` base storage components), a singleton *writer*, and
+``R`` *readers*.  Process identifiers carry their role so that harness code
+can enforce the model's communication restrictions (objects never initiate
+messages; clients never talk to each other).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: The register's initial value.  Per the paper it is a reserved symbol that
+#: no write operation may store.
+BOTTOM: str = "⊥"  # ⊥
+
+
+class Role(enum.Enum):
+    """Role of a process in the emulation."""
+
+    OBJECT = "object"
+    WRITER = "writer"
+    READER = "reader"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class ProcessId:
+    """Identifier of a process: a role plus an index within that role.
+
+    Ordering is lexicographic on ``(role.value, index)`` which gives the
+    deterministic iteration orders the simulator relies on.
+    """
+
+    role_value: str
+    index: int
+
+    @property
+    def role(self) -> Role:
+        """Return the :class:`Role` this identifier belongs to."""
+        return Role(self.role_value)
+
+    def __str__(self) -> str:
+        prefix = {"object": "s", "writer": "w", "reader": "r"}[self.role_value]
+        if self.role_value == "writer":
+            return prefix
+        return f"{prefix}{self.index}"
+
+
+def object_id(index: int) -> ProcessId:
+    """Identifier of storage object ``s_index`` (1-based, as in the paper)."""
+    if index < 1:
+        raise ValueError(f"object indices are 1-based, got {index}")
+    return ProcessId(Role.OBJECT.value, index)
+
+
+def writer_id() -> ProcessId:
+    """Identifier of the unique writer ``w``."""
+    return ProcessId(Role.WRITER.value, 0)
+
+
+def reader_id(index: int) -> ProcessId:
+    """Identifier of reader ``r_index`` (1-based, as in the paper)."""
+    if index < 1:
+        raise ValueError(f"reader indices are 1-based, got {index}")
+    return ProcessId(Role.READER.value, index)
+
+
+def object_ids(count: int) -> tuple[ProcessId, ...]:
+    """Identifiers ``s_1 .. s_count``."""
+    return tuple(object_id(i) for i in range(1, count + 1))
+
+
+def reader_ids(count: int) -> tuple[ProcessId, ...]:
+    """Identifiers ``r_1 .. r_count``."""
+    return tuple(reader_id(i) for i in range(1, count + 1))
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Timestamp:
+    """Logical timestamp ordering the writes of a run.
+
+    For SWMR registers ``seq`` alone suffices (the single writer increments
+    it).  The multi-writer transformation breaks ties with ``writer`` (the
+    client index), giving the usual lexicographic MWMR order.  ``seq == 0``
+    is reserved for the initial value ⊥.
+    """
+
+    seq: int
+    writer: int = 0
+
+    @classmethod
+    def zero(cls) -> "Timestamp":
+        """The timestamp of the initial value ⊥."""
+        return cls(0, 0)
+
+    def next_for(self, writer: int = 0) -> "Timestamp":
+        """Successor timestamp owned by ``writer``."""
+        return Timestamp(self.seq + 1, writer)
+
+    def __str__(self) -> str:
+        if self.writer:
+            return f"{self.seq}.{self.writer}"
+        return str(self.seq)
+
+
+@dataclass(frozen=True, slots=True)
+class TaggedValue:
+    """A value paired with the timestamp under which it was written."""
+
+    ts: Timestamp
+    value: Any
+
+    @classmethod
+    def initial(cls) -> "TaggedValue":
+        """The pair ``(ts=0, ⊥)`` every register starts from."""
+        return cls(Timestamp.zero(), BOTTOM)
+
+    def newer_than(self, other: "TaggedValue") -> bool:
+        """True when this pair carries a strictly larger timestamp."""
+        return self.ts > other.ts
+
+    def __str__(self) -> str:
+        return f"({self.ts}, {self.value!r})"
+
+
+_op_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class OperationId:
+    """Unique handle of one read or write operation instance."""
+
+    client: ProcessId
+    kind: str  # "read" | "write"
+    serial: int = field(default_factory=lambda: next(_op_counter))
+
+    def __str__(self) -> str:
+        return f"{self.kind}[{self.client}#{self.serial}]"
+
+
+def fresh_operation_id(client: ProcessId, kind: str) -> OperationId:
+    """Allocate a process-unique operation identifier."""
+    if kind not in ("read", "write"):
+        raise ValueError(f"operation kind must be 'read' or 'write', got {kind!r}")
+    return OperationId(client=client, kind=kind)

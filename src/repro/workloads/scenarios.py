@@ -1,0 +1,102 @@
+"""Named benchmark scenarios: fault mixes and schedule shapes.
+
+The latency-matrix experiment (E6) runs every protocol under every scenario
+here; tests reuse them so benchmark configurations stay covered by the test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.faults.adversary import CrashAt, SilentBehavior
+from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+from repro.sim.process import FaultBehavior, ObjectServer
+from repro.types import ProcessId, object_id
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Which objects misbehave and how.
+
+    ``maker`` builds a fresh behaviour per object (behaviours can be
+    stateful); ``count`` says how many of the lowest-indexed objects get
+    one.  ``count`` must stay within the system's ``t`` — scenarios model
+    legal adversaries, not over-threshold demolition (tests cover that
+    separately).
+    """
+
+    name: str
+    count: int
+    maker: Callable[[], FaultBehavior] | None
+
+    def behaviors(self, t: int) -> Mapping[ProcessId, FaultBehavior]:
+        """Materialize behaviours for a system with threshold ``t``."""
+        if self.maker is None or self.count == 0:
+            return {}
+        how_many = min(self.count, t)
+        return {object_id(i + 1): self.maker() for i in range(how_many)}
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A fault plan plus workload shape."""
+
+    name: str
+    fault_plan: FaultPlan
+    read_fraction: float = 0.6
+    spacing: int = 25
+    description: str = ""
+
+
+def standard_scenarios(t: int) -> list[Scenario]:
+    """The scenario sweep used by tests and the latency benchmarks.
+
+    Four adversary regimes: fault-free, crash, replay (stale-echo — the
+    adversary class of the paper's proofs), and fabrication (the
+    unauthenticated worst case).
+    """
+    return [
+        Scenario(
+            name="fault-free",
+            fault_plan=FaultPlan("none", 0, None),
+            description="synchronous, all objects correct",
+        ),
+        Scenario(
+            name="crash",
+            fault_plan=FaultPlan("crash", t, lambda: CrashAt(survive_messages=3)),
+            description=f"{t} objects crash after a few messages",
+        ),
+        Scenario(
+            name="silent",
+            fault_plan=FaultPlan("silent", t, lambda: SilentBehavior()),
+            description=f"{t} objects silent from the start",
+        ),
+        Scenario(
+            name="replay",
+            fault_plan=FaultPlan(
+                "replay", t, lambda: StaleEchoBehavior(frozen_state={})
+            ),
+            description=f"{t} objects echo stale genuine states (the proofs' adversary)",
+        ),
+        Scenario(
+            name="fabricate",
+            fault_plan=FaultPlan("fabricate", t, lambda: FabricatingBehavior()),
+            description=f"{t} objects fabricate inflated timestamps",
+        ),
+    ]
+
+
+def freeze_stale_echo(servers: list[ObjectServer], behaviors: Mapping[ProcessId, FaultBehavior]) -> None:
+    """Re-freeze stale-echo behaviours at the objects' *current* states.
+
+    ``standard_scenarios`` builds :class:`StaleEchoBehavior` with an empty
+    frozen state (objects echo their pristine initial state).  Call this
+    after some writes have landed to model "echo an old-but-genuine state"
+    instead of "echo ⊥".
+    """
+    for pid, behavior in behaviors.items():
+        if isinstance(behavior, StaleEchoBehavior):
+            server = next(s for s in servers if s.pid == pid)
+            behavior.__init__(server.snapshot())  # re-freeze in place

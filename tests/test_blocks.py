@@ -1,0 +1,153 @@
+"""Unit and property tests for block partitions and superblocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import BlockPartition, read_bound_partition, write_bound_partition
+from repro.core.recurrence import t_k
+from repro.errors import ConfigurationError
+from repro.types import object_ids
+
+
+class TestBlockPartition:
+    def test_union_and_size(self):
+        partition = read_bound_partition(t=2)
+        assert partition.size(["B1", "B2"]) == 4
+        assert len(partition.union(["B1", "B4"])) == 4
+
+    def test_block_of(self):
+        partition = read_bound_partition(t=1)
+        for name in partition.names:
+            for pid in partition.members(name):
+                assert partition.block_of(pid) == name
+
+    def test_complement(self):
+        partition = read_bound_partition(t=1)
+        assert partition.complement(["B2"]) == ("B1", "B3", "B4")
+
+    def test_unknown_block_rejected(self):
+        partition = read_bound_partition(t=1)
+        with pytest.raises(ConfigurationError):
+            partition.members("B9")
+
+    def test_overlapping_blocks_rejected(self):
+        ids = object_ids(2)
+        with pytest.raises(ConfigurationError):
+            BlockPartition(S=2, blocks={"A": ids, "B": (ids[0],)})
+
+    def test_uncovered_objects_rejected(self):
+        ids = object_ids(3)
+        with pytest.raises(ConfigurationError):
+            BlockPartition(S=3, blocks={"A": ids[:2]})
+
+
+class TestReadBoundPartition:
+    @given(st.integers(1, 30))
+    def test_default_sizes(self, t):
+        partition = read_bound_partition(t)
+        assert partition.size(["B1"]) == t
+        assert partition.size(["B2"]) == t
+        assert partition.size(["B3"]) == t
+        assert partition.size(["B4"]) == t
+        assert partition.S == 4 * t
+
+    @given(st.integers(1, 20), st.integers(1, 20))
+    def test_custom_s_within_bounds(self, t, extra):
+        S = 3 * t + min(extra, t)
+        partition = read_bound_partition(t, S)
+        assert 1 <= partition.size(["B4"]) <= t
+
+    def test_rejects_s_above_4t(self):
+        with pytest.raises(ConfigurationError):
+            read_bound_partition(t=2, S=9)
+
+    def test_rejects_s_at_3t(self):
+        with pytest.raises(ConfigurationError):
+            read_bound_partition(t=2, S=6)
+
+
+class TestWriteBoundPartition:
+    @given(st.integers(1, 12))
+    @settings(deadline=None)
+    def test_total_size_is_3tk_plus_1(self, k):
+        wbp = write_bound_partition(k)
+        assert wbp.S == 3 * t_k(k) + 1
+        assert wbp.t == t_k(k)
+
+    @given(st.integers(1, 12))
+    @settings(deadline=None)
+    def test_identities_hold(self, k):
+        """Equations (1)–(3) of the paper, over the full index ranges."""
+        assert write_bound_partition(k).verify_identities()
+
+    @given(st.integers(2, 10))
+    @settings(deadline=None)
+    def test_c1_is_empty_for_k_at_least_2(self, k):
+        wbp = write_bound_partition(k)
+        assert wbp.partition.size(["C1"]) == 0
+
+    def test_paper_instance_k4(self):
+        """The Figure 2 instance: k=4, t_4=10, S=31, block sizes as stated."""
+        wbp = write_bound_partition(4)
+        sizes = {name: len(wbp.partition.members(name)) for name in wbp.partition.names}
+        assert sizes == {
+            "B0": 1, "B1": 1, "B2": 2, "B3": 4, "B4": 8, "B5": 5,
+            "C1": 0, "C2": 1, "C3": 1, "C4": 8,
+        }
+
+    def test_b_blocks_hold_2tk_plus_1(self):
+        wbp = write_bound_partition(4)
+        b_names = [f"B{j}" for j in range(0, 6)]
+        assert wbp.partition.size(b_names) == 2 * t_k(4) + 1
+
+    def test_c_blocks_hold_tk(self):
+        wbp = write_bound_partition(4)
+        c_names = [f"C{j}" for j in range(1, 5)]
+        assert wbp.partition.size(c_names) == t_k(4)
+
+    @given(st.integers(1, 6), st.integers(1, 4))
+    @settings(deadline=None)
+    def test_scaled_partitions(self, k, scale):
+        """Proposition 2's scaling: identities survive multiplication by c."""
+        wbp = write_bound_partition(k, scale=scale)
+        assert wbp.S == (3 * t_k(k) + 1) * scale
+        assert wbp.t == t_k(k) * scale
+        assert wbp.verify_identities()
+
+    @given(st.integers(1, 10))
+    @settings(deadline=None)
+    def test_reads_skip_exactly_t_objects(self, k):
+        """Every read round of Lemma 1 skips exactly t_k objects."""
+        wbp = write_bound_partition(k)
+        for l in range(1, k):
+            early = wbp.malicious_superblock(l - 2) + wbp.parity_superblock(l + 1)
+            third = wbp.malicious_superblock(l - 2) + wbp.correct_superblock(l + 1)
+            assert wbp.partition.size(early) == t_k(k), (k, l, "early")
+            assert wbp.partition.size(third) == t_k(k), (k, l, "third")
+        final = wbp.malicious_superblock(k - 2) + wbp.parity_superblock(k + 1)
+        assert wbp.partition.size(final) == t_k(k)
+
+    @given(st.integers(1, 10))
+    @settings(deadline=None)
+    def test_mimicry_budget_is_exactly_t(self, k):
+        """|P_l ∪ M_{l−3}| = t_k: the @pr_{l−1} Byzantine budget."""
+        wbp = write_bound_partition(k)
+        for l in range(1, k + 1):
+            parity = wbp.parity_superblock(l)
+            extra = wbp.malicious_superblock(l - 3) if l >= 2 else ()
+            assert wbp.partition.size(parity + extra) == t_k(k), (k, l)
+
+    def test_superblock_index_ranges_enforced(self):
+        wbp = write_bound_partition(3)
+        with pytest.raises(ConfigurationError):
+            wbp.malicious_superblock(3)  # max is k-1
+        with pytest.raises(ConfigurationError):
+            wbp.parity_superblock(0)
+        with pytest.raises(ConfigurationError):
+            wbp.correct_superblock(5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            write_bound_partition(0)
+        with pytest.raises(ConfigurationError):
+            write_bound_partition(2, scale=0)

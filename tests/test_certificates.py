@@ -1,0 +1,69 @@
+"""Unit tests for violation certificates and evidence rendering."""
+
+from repro.core.certificates import EvidenceLine, ViolationCertificate
+from repro.spec.atomicity import AtomicityVerdict
+
+
+def make_certificate(ok_verdict=False):
+    verdict = AtomicityVerdict(
+        ok=ok_verdict,
+        violated_property=None if ok_verdict else 1,
+        explanation="" if ok_verdict else "read returned 1, never written",
+    )
+    return ViolationCertificate(
+        construction="read-lower-bound (Proposition 1)",
+        protocol="strawman-2r-read",
+        parameters={"t": 1, "S": 4, "k": 2, "R": 4},
+        final_run="Δpr7",
+        verdict=verdict,
+        history_description="  read[r3#1] -> 1 [1, 2]",
+    )
+
+
+class TestEvidence:
+    def test_line_rendering(self):
+        ok = EvidenceLine(run="pr1", claim="rd1 returns 1", verified=True)
+        bad = EvidenceLine(run="pr2", claim="rd2 returns 1", verified=False)
+        assert str(ok).startswith("[ok]")
+        assert str(bad).startswith("[FAILED]")
+
+    def test_add_appends(self):
+        certificate = make_certificate()
+        certificate.add("wr", "write completes")
+        certificate.add("pr1", "claim fails", verified=False)
+        assert len(certificate.evidence) == 2
+        assert not certificate.evidence[1].verified
+
+
+class TestValidity:
+    def test_valid_needs_violation_and_clean_evidence(self):
+        certificate = make_certificate(ok_verdict=False)
+        certificate.add("pr1", "fine")
+        assert certificate.valid
+
+    def test_invalid_when_no_violation(self):
+        certificate = make_certificate(ok_verdict=True)
+        certificate.add("pr1", "fine")
+        assert not certificate.valid
+
+    def test_invalid_when_any_evidence_failed(self):
+        certificate = make_certificate(ok_verdict=False)
+        certificate.add("pr1", "broken", verified=False)
+        assert not certificate.valid
+
+
+class TestRendering:
+    def test_render_contains_all_sections(self):
+        certificate = make_certificate()
+        certificate.add("pr1", "rd1 returns 1")
+        text = certificate.render()
+        assert "violation certificate" in text
+        assert "strawman-2r-read" in text
+        assert "Δpr7" in text
+        assert "atomicity property 1" in text
+        assert "[ok] pr1" in text
+        assert "certificate valid: True" in text
+
+    def test_render_reports_invalid(self):
+        certificate = make_certificate(ok_verdict=True)
+        assert "certificate valid: False" in certificate.render()

@@ -1,0 +1,169 @@
+"""Chaos tests: client crashes, fault cocktails, hostile schedules.
+
+Wait-freedom and safety must survive everything the model allows at once:
+clients crashing mid-operation (their write-backs half-delivered), mixed
+Byzantine behaviours up to the threshold, and heavily skewed delivery.
+"""
+
+import pytest
+
+from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
+from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+from repro.faults.schedules import WithholdFrom
+from repro.registers.abd import AbdProtocol
+from repro.registers.base import RegisterSystem
+from repro.registers.fast_regular import FastRegularProtocol
+from repro.registers.secret_token import SecretTokenProtocol
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.sim.network import RandomDelivery
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.linearizability import is_linearizable
+from repro.spec.regularity import check_swmr_regularity
+from repro.types import object_id, reader_id
+
+
+class TestClientCrashes:
+    def test_writer_crash_mid_write_still_linearizable(self):
+        """A write aborted between its two phases is 'concurrent forever':
+        later reads may return either value, but must stay consistent."""
+        system = RegisterSystem(FastRegularProtocol(), t=1, n_readers=2)
+        system.write("a", at=0)
+        crashing = system.write("b", at=60)
+        system.simulator.queue.schedule(63, lambda: system.simulator.abort(crashing))
+        system.read(1, at=120)
+        system.read(2, at=180)
+        system.run()
+        history = system.history()
+        assert is_linearizable(history)
+        values = [r.value for r in history.reads()]
+        # Reads agree-or-progress: never b-then-a.
+        assert values != ["b", "a"]
+
+    def test_reader_crash_mid_write_back_harmless(self):
+        """A reader aborted after its query but before finishing the
+        write-back must not corrupt later reads."""
+        protocol = RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2)
+        system = RegisterSystem(protocol, t=1, n_readers=2)
+        system.write("a", at=0)
+        doomed = system.read(1, at=60)
+        system.simulator.queue.schedule(64, lambda: system.simulator.abort(doomed))
+        system.write("b", at=140)
+        system.read(2, at=220)
+        system.run()
+        history = system.history()
+        assert history.reads()[-1].value == "b"
+        assert check_swmr_atomicity(history).ok
+
+    def test_aborted_operation_not_counted_complete(self):
+        system = RegisterSystem(AbdProtocol(), t=1, n_readers=1)
+        policy_victim = system.read(1, at=0)
+        system.simulator.queue.schedule(0, lambda: system.simulator.abort(policy_victim))
+        system.run()
+        assert not system.history().reads(complete_only=True)
+
+
+class TestFaultCocktails:
+    def test_mixed_byzantine_at_threshold(self):
+        """t = 3: one fabricator, one stale-echo, one silent — all at once."""
+        t = 3
+        system = RegisterSystem(
+            FastRegularProtocol("unauthenticated"), t=t, n_readers=2,
+            behaviors={
+                object_id(1): FabricatingBehavior(),
+                object_id(2): StaleEchoBehavior(frozen_state={}),
+                object_id(3): SilentBehavior(),
+            },
+        )
+        system.write("a", at=0)
+        system.read(1, at=80)
+        system.write("b", at=160)
+        system.read(2, at=240)
+        system.run()
+        history = system.history()
+        assert [r.value for r in history.reads()] == ["a", "b"]
+        assert check_swmr_regularity(history).ok
+
+    def test_token_stack_under_cocktail(self):
+        t = 2
+        protocol = RegularToAtomicProtocol(lambda: SecretTokenProtocol(), n_readers=2)
+        system = RegisterSystem(
+            protocol, t=t, n_readers=2,
+            behaviors={
+                object_id(1): FabricatingBehavior(),
+                object_id(2): CrashAt(survive_messages=4),
+            },
+        )
+        system.write("a", at=0)
+        system.read(1, at=80)
+        system.write("b", at=160)
+        system.read(2, at=240)
+        system.run()
+        history = system.history()
+        assert len(history.complete()) == 4
+        assert check_swmr_atomicity(history).ok
+
+    def test_flaky_objects_within_threshold(self):
+        system = RegisterSystem(
+            FastRegularProtocol(), t=2, n_readers=2,
+            behaviors={
+                object_id(1): flaky_behavior(p_reply=0.4, seed=3),
+                object_id(2): flaky_behavior(p_reply=0.4, seed=4),
+            },
+        )
+        for i, at in enumerate((0, 100, 200)):
+            system.write(f"v{i}", at=at)
+            system.read(1 + i % 2, at=at + 50)
+        system.run()
+        history = system.history()
+        assert len(history.complete()) == 6  # wait-freedom despite flakiness
+        assert check_swmr_regularity(history).ok
+
+
+class TestHostileSchedules:
+    def test_reader_starved_of_freshest_objects(self):
+        """Withhold the replies of two specific objects from one reader:
+        with S - t still answering, its reads must stay live and regular."""
+        system = RegisterSystem(
+            FastRegularProtocol(), t=1, n_readers=2,
+            policy=WithholdFrom(objects=[object_id(1)], clients=[reader_id(1)]),
+        )
+        system.write("a", at=0)
+        system.read(1, at=60)
+        system.write("b", at=120)
+        system.read(1, at=200)
+        system.run()
+        history = system.history()
+        assert [r.value for r in history.reads()] == ["a", "b"]
+        assert check_swmr_regularity(history).ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_high_variance_delays_with_byzantine(self, seed):
+        system = RegisterSystem(
+            RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2),
+            t=1, n_readers=2,
+            policy=RandomDelivery(seed=seed, min_latency=1, max_latency=25),
+        )
+        rogue = system.server(object_id(4))
+        rogue.behavior = StaleEchoBehavior(frozen_state={})
+        system.write("a", at=0)
+        system.read(1, at=10)
+        system.write("b", at=300)
+        system.read(2, at=310)
+        system.read(1, at=600)
+        system.run()
+        verdict = check_swmr_atomicity(system.history())
+        assert verdict.ok, verdict.explanation
+
+    def test_all_invocations_to_one_object_withheld(self):
+        """An object that never hears anything is just a slow correct
+        object: progress and consistency must be unaffected."""
+        system = RegisterSystem(
+            FastRegularProtocol(), t=1, n_readers=1,
+            policy=WithholdFrom(objects=[object_id(2)], also_invocations=True, clients=None),
+        )
+        system.write("a", at=0)
+        system.read(1, at=60)
+        system.run()
+        history = system.history()
+        assert history.reads()[0].value == "a"
+        assert system.server(object_id(2)).messages_seen == 0

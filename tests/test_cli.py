@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line reproducer."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_summary_runs_clean(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "Proposition 1" in out and "VALID" in out
+        assert "Lemma 1" in out
+
+    def test_read_bound_command(self, capsys):
+        assert main(["read-bound", "--t", "1", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate valid: True" in out
+
+    def test_write_bound_command(self, capsys):
+        assert main(["write-bound", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate valid: True" in out
+
+    def test_latency_command(self, capsys):
+        assert main(["latency"]) == 0
+        out = capsys.readouterr().out
+        assert "abd" in out and "atomic(fast-regular)" in out
+
+    def test_recurrence_command(self, capsys):
+        assert main(["recurrence", "--max-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "t_k" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

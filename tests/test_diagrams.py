@@ -1,0 +1,59 @@
+"""Tests for the Figure 1/2-style diagram renderer."""
+
+from repro.core.diagrams import legend, render_chain, render_run
+from repro.core.read_bound import ReadLowerBoundConstruction
+from repro.registers.strawman import TwoRoundReadProtocol
+
+
+def run_chain():
+    construction = ReadLowerBoundConstruction(
+        lambda: TwoRoundReadProtocol(write_rounds=1), t=1
+    )
+    return construction.execute(keep_runs=True)
+
+
+class TestRenderRun:
+    def test_grid_contains_all_blocks(self):
+        outcome = run_chain()
+        text = render_run(outcome.kept_runs[0])
+        for block in ("B1", "B2", "B3", "B4"):
+            assert block in text
+
+    def test_malicious_block_marked(self):
+        outcome = run_chain()
+        pr1 = outcome.kept_runs[0]  # B1 forges in pr1
+        text = render_run(pr1)
+        assert "@B1" in text
+
+    def test_terminated_vs_pending_cells(self):
+        outcome = run_chain()
+        # A Δ run has unterminated rounds ([~~]); pr1 has only terminated.
+        final = render_run(outcome.final_run)
+        assert "[~~]" in final
+        assert "[##]" in final
+
+    def test_forgery_footnotes(self):
+        outcome = run_chain()
+        text = render_run(outcome.kept_runs[0])
+        assert "forgeries:" in text
+        assert "restore to state before" in text
+
+    def test_returns_reported(self):
+        outcome = run_chain()
+        assert "rd1 -> 1" in render_run(outcome.kept_runs[0])
+
+    def test_title_included(self):
+        outcome = run_chain()
+        assert render_run(outcome.kept_runs[0], title="(a) pr1").startswith("(a) pr1")
+
+
+class TestRenderChain:
+    def test_lettered_subfigures(self):
+        outcome = run_chain()
+        text = render_chain(outcome.kept_runs[:3], caption="Figure 1")
+        assert text.startswith("Figure 1")
+        assert "(a)" in text and "(b)" in text and "(c)" in text
+
+    def test_legend_mentions_all_cells(self):
+        text = legend()
+        assert "[##]" in text and "[~~]" in text and "@" in text

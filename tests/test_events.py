@@ -1,0 +1,76 @@
+"""Unit tests for the virtual-time event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_fifo_at_same_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5, lambda: seen.append("a"))
+        queue.schedule(5, lambda: seen.append("b"))
+        queue.run_all()
+        assert seen == ["a", "b"]
+
+    def test_time_ordering(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(10, lambda: seen.append("late"))
+        queue.schedule(1, lambda: seen.append("early"))
+        queue.run_all()
+        assert seen == ["early", "late"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        queue.schedule(7, lambda: None)
+        queue.run_all()
+        assert queue.now == 7
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule(-1, lambda: None)
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(3, lambda: None)
+        assert queue.peek_time() == 3
+
+    def test_nested_scheduling(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1, lambda: queue.schedule(2, lambda: seen.append(queue.now)))
+        queue.run_all()
+        assert seen == [3]
+
+    def test_event_budget(self):
+        queue = EventQueue()
+
+        def reschedule():
+            queue.schedule(1, reschedule)
+
+        queue.schedule(1, reschedule)
+        with pytest.raises(SimulationError):
+            queue.run_all(max_events=50)
+
+    def test_run_all_returns_count(self):
+        queue = EventQueue()
+        for _ in range(4):
+            queue.schedule(1, lambda: None)
+        assert queue.run_all() == 4
+
+    def test_len_tracks_pending(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1

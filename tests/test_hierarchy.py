@@ -1,0 +1,96 @@
+"""Property test: Lamport's hierarchy — atomic ⊆ regular ⊆ safe.
+
+Any history accepted by the atomicity checker must be accepted by the
+regularity checker, and any history accepted by regularity must be accepted
+by safety.  Violations of the containment would mean one of the three
+checkers implements the wrong specification; running it over thousands of
+random histories pins all three to each other.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.history import History, OperationRecord
+from repro.spec.regularity import check_swmr_regularity
+from repro.spec.safety import check_swmr_safety
+from repro.types import BOTTOM, fresh_operation_id, reader_id, writer_id
+
+
+def _op(kind, client, inv, resp, value):
+    return OperationRecord(
+        op_id=fresh_operation_id(client, kind), kind=kind, client=client,
+        invoked_at=inv, invocation_step=inv, value=value,
+        responded_at=resp, response_step=resp,
+    )
+
+
+@st.composite
+def histories(draw):
+    """Well-formed SWMR histories with overlapping intervals."""
+    n = draw(st.integers(1, 7))
+    records = []
+    step = 0
+    busy = {"w": 0, 1: 0, 2: 0, 3: 0}
+    writer_crashed = False
+    values = iter(f"v{i}" for i in range(1, 12))
+    for _ in range(n):
+        write = draw(st.booleans()) and not writer_crashed
+        key = "w" if write else draw(st.sampled_from([1, 2, 3]))
+        start = max(busy[key], step) + draw(st.integers(1, 4))
+        duration = draw(st.integers(1, 8))
+        end = start + duration
+        step = start
+        busy[key] = end
+        if write:
+            complete = draw(st.booleans())
+            records.append(_op("write", writer_id(), start,
+                               end if complete else None, next(values)))
+            if not complete:
+                writer_crashed = True  # a crashed writer never writes again
+        else:
+            value = draw(st.sampled_from([BOTTOM, "v1", "v2", "v3", "v4"]))
+            records.append(_op("read", reader_id(key), start, end, value))
+    return History(records)
+
+
+class TestHierarchy:
+    @given(histories())
+    @settings(max_examples=400, deadline=None)
+    def test_atomic_implies_regular_implies_safe(self, history):
+        atomic = check_swmr_atomicity(history).ok
+        regular = check_swmr_regularity(history).ok
+        safe = check_swmr_safety(history).ok
+        if atomic:
+            assert regular, "atomic history rejected by regularity"
+        if regular:
+            assert safe, "regular history rejected by safety"
+
+    @given(histories())
+    @settings(max_examples=200, deadline=None)
+    def test_single_read_histories_collapse(self, history):
+        """With at most one complete read, atomicity and regularity agree
+        (property 4 needs two reads to bite)."""
+        if len(history.reads(complete_only=True)) <= 1:
+            assert check_swmr_atomicity(history).ok == check_swmr_regularity(history).ok
+
+    def test_separating_example_regular_not_atomic(self):
+        """The canonical separation: a new/old inversion."""
+        records = [
+            _op("write", writer_id(), 1, 2, "a"),
+            _op("write", writer_id(), 3, 30, "b"),
+            _op("read", reader_id(1), 4, 5, "b"),
+            _op("read", reader_id(2), 6, 7, "a"),
+        ]
+        history = History(records)
+        assert check_swmr_regularity(history).ok
+        assert not check_swmr_atomicity(history).ok
+
+    def test_separating_example_safe_not_regular(self):
+        """A concurrent read may return garbage under safety only."""
+        records = [
+            _op("write", writer_id(), 1, 10, "a"),
+            _op("read", reader_id(1), 2, 3, "garbage"),
+        ]
+        history = History(records)
+        assert check_swmr_safety(history).ok
+        assert not check_swmr_regularity(history).ok

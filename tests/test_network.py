@@ -1,0 +1,149 @@
+"""Unit tests for channels, delivery policies, and message holding."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.sim.events import EventQueue
+from repro.sim.network import (
+    FifoDelivery,
+    Message,
+    Network,
+    RandomDelivery,
+    SelectiveHold,
+    broadcast,
+)
+from repro.types import fresh_operation_id, object_id, object_ids, reader_id
+
+
+def make_message(dst_index=1, tag="PING", is_reply=False, src=None):
+    return Message(
+        src=src or reader_id(1),
+        dst=object_id(dst_index),
+        op=fresh_operation_id(reader_id(1), "read"),
+        round_no=1,
+        tag=tag,
+        payload={},
+        is_reply=is_reply,
+    )
+
+
+class TestFifoDelivery:
+    def test_unit_latency_default(self):
+        assert FifoDelivery().delay(make_message(), 0) == 1
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ChannelError):
+            FifoDelivery(latency=0)
+
+
+class TestRandomDelivery:
+    def test_deterministic_per_seed(self):
+        a = RandomDelivery(seed=7)
+        b = RandomDelivery(seed=7)
+        msgs = [make_message() for _ in range(20)]
+        assert [a.delay(m, 0) for m in msgs] == [b.delay(m, 0) for m in msgs]
+
+    def test_within_bounds(self):
+        policy = RandomDelivery(seed=1, min_latency=2, max_latency=5)
+        for _ in range(50):
+            assert 2 <= policy.delay(make_message(), 0) <= 5
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ChannelError):
+            RandomDelivery(min_latency=5, max_latency=2)
+
+
+class TestNetworkDelivery:
+    def test_delivers_to_attached_handler(self):
+        queue = EventQueue()
+        network = Network(queue)
+        received = []
+        network.attach(object_id(1), received.append)
+        network.send(make_message())
+        queue.run_all()
+        assert len(received) == 1
+
+    def test_fifo_per_channel_under_random_delays(self):
+        queue = EventQueue()
+        network = Network(queue, policy=RandomDelivery(seed=3, max_latency=20))
+        received = []
+        network.attach(object_id(1), lambda m: received.append(m.tag))
+        for i in range(10):
+            network.send(make_message(tag=f"m{i}"))
+        queue.run_all()
+        assert received == [f"m{i}" for i in range(10)]
+
+    def test_drop_for_detached_destination(self):
+        queue = EventQueue()
+        network = Network(queue)
+        network.attach(object_id(1), lambda m: None)
+        network.detach(object_id(1))
+        network.send(make_message())
+        queue.run_all()  # no exception: dropped silently (crashed client)
+
+    def test_broadcast_counts(self):
+        queue = EventQueue()
+        network = Network(queue)
+        received = []
+        for pid in object_ids(4):
+            network.attach(pid, received.append)
+        count = broadcast(
+            network,
+            reader_id(1),
+            object_ids(4),
+            fresh_operation_id(reader_id(1), "read"),
+            1,
+            "PING",
+            {},
+        )
+        queue.run_all()
+        assert count == 4
+        assert len(received) == 4
+
+
+class TestHolding:
+    def test_selective_hold_parks_messages(self):
+        queue = EventQueue()
+        network = Network(queue, policy=SelectiveHold(lambda m: m.tag == "SLOW"))
+        received = []
+        network.attach(object_id(1), lambda m: received.append(m.tag))
+        network.send(make_message(tag="SLOW"))
+        network.send(make_message(tag="FAST"))
+        queue.run_all()
+        assert received == ["FAST"]
+        assert len(network.held_messages) == 1
+
+    def test_release_held_delivers(self):
+        queue = EventQueue()
+        network = Network(queue, policy=SelectiveHold(lambda m: True))
+        received = []
+        network.attach(object_id(1), lambda m: received.append(m.tag))
+        network.send(make_message(tag="a"))
+        queue.run_all()
+        assert received == []
+        assert network.release_held() == 1
+        queue.run_all()
+        assert received == ["a"]
+        assert network.held_messages == ()
+
+    def test_release_with_filter(self):
+        queue = EventQueue()
+        network = Network(queue, policy=SelectiveHold(lambda m: True))
+        received = []
+        network.attach(object_id(1), lambda m: received.append(m.tag))
+        network.send(make_message(tag="x"))
+        network.send(make_message(tag="y"))
+        assert network.release_held(match=lambda m: m.tag == "y") == 1
+        queue.run_all()
+        assert received == ["y"]
+
+    def test_release_preserves_channel_fifo(self):
+        queue = EventQueue()
+        network = Network(queue, policy=SelectiveHold(lambda m: True))
+        received = []
+        network.attach(object_id(1), lambda m: received.append(m.tag))
+        for i in range(5):
+            network.send(make_message(tag=f"m{i}"))
+        network.release_held()
+        queue.run_all()
+        assert received == [f"m{i}" for i in range(5)]

@@ -1,0 +1,116 @@
+"""Unit tests for the regular and safe register checkers."""
+
+from repro.spec.regularity import check_swmr_regularity
+from repro.spec.safety import check_swmr_safety
+from repro.spec.history import History, OperationRecord
+from repro.types import BOTTOM, fresh_operation_id, reader_id, writer_id
+
+
+def op(kind, client, inv, resp, value):
+    return OperationRecord(
+        op_id=fresh_operation_id(client, kind), kind=kind, client=client,
+        invoked_at=inv, invocation_step=inv, value=value,
+        responded_at=resp, response_step=resp,
+    )
+
+
+class TestRegularity:
+    def test_last_complete_write_ok(self):
+        history = History([
+            op("write", writer_id(), 1, 2, "a"),
+            op("read", reader_id(1), 3, 4, "a"),
+        ])
+        assert check_swmr_regularity(history).ok
+
+    def test_concurrent_write_value_ok(self):
+        history = History([
+            op("write", writer_id(), 1, 10, "a"),
+            op("read", reader_id(1), 2, 3, "a"),
+        ])
+        assert check_swmr_regularity(history).ok
+
+    def test_concurrent_old_value_ok(self):
+        history = History([
+            op("write", writer_id(), 1, 10, "a"),
+            op("read", reader_id(1), 2, 3, BOTTOM),
+        ])
+        assert check_swmr_regularity(history).ok
+
+    def test_stale_value_rejected(self):
+        history = History([
+            op("write", writer_id(), 1, 2, "a"),
+            op("write", writer_id(), 3, 4, "b"),
+            op("read", reader_id(1), 5, 6, "a"),
+        ])
+        verdict = check_swmr_regularity(history)
+        assert not verdict.ok
+        assert verdict.violated_property == 2
+
+    def test_unwritten_value_rejected(self):
+        history = History([op("read", reader_id(1), 1, 2, "ghost")])
+        assert check_swmr_regularity(history).violated_property == 1
+
+    def test_future_value_rejected(self):
+        history = History([
+            op("read", reader_id(1), 1, 2, "a"),
+            op("write", writer_id(), 3, 4, "a"),
+        ])
+        assert check_swmr_regularity(history).violated_property == 3
+
+    def test_new_old_inversion_ACCEPTED_by_regularity(self):
+        """The defining gap between regular and atomic (paper Section 5)."""
+        history = History([
+            op("write", writer_id(), 1, 2, "a"),
+            op("write", writer_id(), 3, 20, "b"),
+            op("read", reader_id(1), 4, 5, "b"),
+            op("read", reader_id(2), 6, 7, "a"),  # inversion: fine for regular
+        ])
+        assert check_swmr_regularity(history).ok
+        from repro.spec.atomicity import check_swmr_atomicity
+        assert not check_swmr_atomicity(history).ok
+
+
+class TestSafety:
+    def test_solo_read_must_see_last_write(self):
+        history = History([
+            op("write", writer_id(), 1, 2, "a"),
+            op("read", reader_id(1), 3, 4, BOTTOM),
+        ])
+        verdict = check_swmr_safety(history)
+        assert not verdict.ok
+
+    def test_solo_read_correct_value_ok(self):
+        history = History([
+            op("write", writer_id(), 1, 2, "a"),
+            op("read", reader_id(1), 3, 4, "a"),
+        ])
+        assert check_swmr_safety(history).ok
+
+    def test_concurrent_read_unconstrained(self):
+        history = History([
+            op("write", writer_id(), 1, 10, "a"),
+            op("read", reader_id(1), 2, 3, "complete-garbage"),
+        ])
+        assert check_swmr_safety(history).ok
+
+    def test_solo_read_before_any_write(self):
+        history = History([op("read", reader_id(1), 1, 2, BOTTOM)])
+        assert check_swmr_safety(history).ok
+
+    def test_hierarchy_atomic_implies_regular_implies_safe(self):
+        """Lamport's hierarchy on a batch of valid histories."""
+        from repro.spec.atomicity import check_swmr_atomicity
+
+        histories = [
+            History([
+                op("write", writer_id(), 1, 2, "a"),
+                op("read", reader_id(1), 3, 4, "a"),
+                op("write", writer_id(), 5, 6, "b"),
+                op("read", reader_id(2), 7, 8, "b"),
+            ]),
+            History([op("read", reader_id(1), 1, 2, BOTTOM)]),
+        ]
+        for history in histories:
+            assert check_swmr_atomicity(history).ok
+            assert check_swmr_regularity(history).ok
+            assert check_swmr_safety(history).ok

@@ -1,0 +1,70 @@
+"""Tests for the masking-quorum safe register."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+from repro.registers.base import RegisterSystem
+from repro.registers.safe import ByzantineSafeProtocol
+from repro.spec.safety import check_swmr_safety
+from repro.types import object_id
+
+
+def make_system(t=1, behaviors=None):
+    return RegisterSystem(ByzantineSafeProtocol(), t=t, S=4 * t + 1,
+                          n_readers=2, behaviors=behaviors)
+
+
+class TestConfiguration:
+    def test_requires_4t_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            RegisterSystem(ByzantineSafeProtocol(), t=1, S=4)
+
+    def test_one_round_each_way(self):
+        system = make_system()
+        system.write("a", at=0)
+        system.read(1, at=50)
+        system.run()
+        assert system.max_rounds("write") == 1
+        assert system.max_rounds("read") == 1
+
+
+class TestSafety:
+    def test_solo_read_sees_last_write(self):
+        system = make_system()
+        system.write("a", at=0)
+        system.read(1, at=50)
+        system.run()
+        history = system.history()
+        assert history.reads()[0].value == "a"
+        assert check_swmr_safety(history).ok
+
+    def test_safe_under_fabrication(self):
+        """Masking quorums: t fabricators cannot outvote the certified value."""
+        system = make_system(t=1, behaviors={object_id(1): FabricatingBehavior()})
+        system.write("a", at=0)
+        system.read(1, at=50)
+        system.run()
+        assert system.history().reads()[0].value == "a"
+
+    def test_safe_under_stale_echo(self):
+        system = make_system(t=2, behaviors={
+            object_id(1): StaleEchoBehavior(frozen_state={}),
+            object_id(2): StaleEchoBehavior(frozen_state={}),
+        })
+        system.write("a", at=0)
+        system.write("b", at=60)
+        system.read(1, at=120)
+        system.run()
+        history = system.history()
+        assert history.reads()[0].value == "b"
+        assert check_swmr_safety(history).ok
+
+    def test_safety_checker_passes_history(self):
+        system = make_system()
+        system.write("a", at=0)
+        system.read(1, at=40)
+        system.write("b", at=80)
+        system.read(2, at=120)
+        system.run()
+        assert check_swmr_safety(system.history()).ok

@@ -1,0 +1,66 @@
+"""Tests for message tracing and reply transcripts."""
+
+from repro.registers.abd import AbdProtocol
+from repro.registers.base import RegisterSystem
+from repro.sim.tracing import MessageTrace, TraceKind, merge_transcripts
+
+
+def run_abd():
+    system = RegisterSystem(AbdProtocol(), t=1, n_readers=2)
+    write_op = system.write("a", at=0)
+    read_op = system.read(1, at=50)
+    system.run()
+    return system, write_op, read_op
+
+
+class TestTraceQueries:
+    def test_round_trip_count_matches_engine(self):
+        system, write_op, read_op = run_abd()
+        assert system.trace.round_trip_count(write_op.op_id) == 1
+        assert system.trace.round_trip_count(read_op.op_id) == 2
+
+    def test_replies_for_operation(self):
+        system, _, read_op = run_abd()
+        replies = system.trace.replies_for_operation(read_op.op_id)
+        assert all(m.is_reply for m in replies)
+        assert len(replies) == 6  # 3 objects × 2 rounds (S=3, unit latency)
+
+    def test_delivered_to_client(self):
+        system, _, read_op = run_abd()
+        delivered = system.trace.delivered_to(read_op.client)
+        assert delivered
+        assert all(m.dst == read_op.client for m in delivered)
+
+    def test_messages_between_in_order(self):
+        from repro.types import object_id, writer_id
+
+        system, _, _ = run_abd()
+        messages = system.trace.messages_between(writer_id(), object_id(1))
+        assert [m.round_no for m in messages] == sorted(m.round_no for m in messages)
+
+    def test_client_transcript_is_canonical(self):
+        system, _, read_op = run_abd()
+        transcript = system.trace.client_transcript(read_op.op_id)
+        keys = [(e.round_no, e.source) for e in transcript]
+        assert keys == sorted(keys)
+        assert {entry.round_no for entry in transcript} == {1, 2}
+
+    def test_transcripts_equal_for_identical_runs(self):
+        system_a, _, read_a = run_abd()
+        system_b, _, read_b = run_abd()
+        a = [(e.round_no, e.source, e.payload_items)
+             for e in system_a.trace.client_transcript(read_a.op_id)]
+        b = [(e.round_no, e.source, e.payload_items)
+             for e in system_b.trace.client_transcript(read_b.op_id)]
+        assert a == b
+
+    def test_merge_transcripts(self):
+        system, _, read_op = run_abd()
+        merged = merge_transcripts([system.trace], read_op.op_id)
+        assert merged == system.trace.client_transcript(read_op.op_id)
+
+    def test_event_kinds_recorded(self):
+        system, _, _ = run_abd()
+        kinds = {event.kind for event in system.trace.events}
+        assert TraceKind.SEND in kinds
+        assert TraceKind.DELIVER in kinds

@@ -1,0 +1,87 @@
+"""Tests for workload generation and scenarios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import OperationPlan, WorkloadGenerator, apply_plan
+from repro.workloads.scenarios import standard_scenarios
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = WorkloadGenerator(seed=5).plan(30)
+        b = WorkloadGenerator(seed=5).plan(30)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert WorkloadGenerator(seed=1).plan(30) != WorkloadGenerator(seed=2).plan(30)
+
+    def test_plan_length(self):
+        assert len(WorkloadGenerator().plan(17)) == 17
+
+    def test_read_fraction_extremes(self):
+        reads_only = WorkloadGenerator(read_fraction=1.0).plan(20)
+        assert all(p.kind == "read" for p in reads_only)
+        writes_only = WorkloadGenerator(read_fraction=0.0).plan(20)
+        assert all(p.kind == "write" for p in writes_only)
+
+    def test_write_values_unique(self):
+        plans = WorkloadGenerator(read_fraction=0.0).plan(20)
+        values = [p.value for p in plans]
+        assert len(set(values)) == len(values)
+
+    def test_per_client_sequentiality_window(self):
+        plans = WorkloadGenerator(seed=3, read_fraction=0.5, spacing=1).plan(60)
+        last: dict = {}
+        for plan in plans:
+            key = (plan.kind, plan.client_index)
+            if key in last:
+                assert plan.at >= last[key] + 500
+            last[key] = plan.at
+
+    def test_client_indices_in_range(self):
+        plans = WorkloadGenerator(seed=1, n_readers=3).plan(50)
+        for plan in plans:
+            if plan.kind == "read":
+                assert 1 <= plan.client_index <= 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(read_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(n_readers=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(spacing=-1)
+
+    def test_apply_plan_drives_register_system(self):
+        from repro.registers.abd import AbdProtocol
+        from repro.registers.base import RegisterSystem
+        from repro.spec.atomicity import check_swmr_atomicity
+
+        system = RegisterSystem(AbdProtocol(), t=1, n_readers=2)
+        apply_plan(system, WorkloadGenerator(seed=7, spacing=50).plan(12))
+        system.run()
+        history = system.history()
+        assert len(history.complete()) == 12
+        assert check_swmr_atomicity(history).ok
+
+
+class TestScenarios:
+    def test_standard_set(self):
+        names = [s.name for s in standard_scenarios(t=1)]
+        assert names == ["fault-free", "crash", "silent", "replay", "fabricate"]
+
+    def test_fault_plans_respect_threshold(self):
+        for scenario in standard_scenarios(t=2):
+            behaviors = scenario.fault_plan.behaviors(t=2)
+            assert len(behaviors) <= 2
+
+    def test_fault_free_has_no_behaviors(self):
+        scenario = standard_scenarios(t=3)[0]
+        assert scenario.fault_plan.behaviors(t=3) == {}
+
+    def test_behaviors_are_fresh_instances(self):
+        scenario = standard_scenarios(t=2)[1]
+        behaviors = scenario.fault_plan.behaviors(t=2)
+        instances = list(behaviors.values())
+        assert instances[0] is not instances[1]

@@ -1,0 +1,105 @@
+"""Tests for the executable write lower bound (Lemma 1 / Proposition 2)."""
+
+import pytest
+
+from repro.core.recurrence import t_k
+from repro.core.write_bound import WriteLowerBoundConstruction
+from repro.errors import ConstructionError, ConstructionEscape
+from repro.registers.fast_regular import FastRegularProtocol
+from repro.registers.strawman import ThreeRoundReadProtocol
+from repro.registers.transform_atomic import RegularToAtomicProtocol
+
+
+class TestViolationCertificates:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_strawman_always_convicted(self, k):
+        construction = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=k), k=k
+        )
+        outcome = construction.execute()
+        assert outcome.certificate.valid, outcome.certificate.render()
+        assert outcome.certificate.verdict.violated_property == 1
+
+    def test_figure2_instance_k4(self):
+        """The paper's illustrated instance: k=4, t_4=10, S=31."""
+        construction = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=4), k=4
+        )
+        assert construction.t == 10
+        assert construction.partition.S == 31
+        outcome = construction.execute()
+        assert outcome.certificate.valid, outcome.certificate.render()
+
+    def test_final_run_has_no_write(self):
+        outcome = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=2), k=2
+        ).execute()
+        assert "write" not in outcome.final_run.ops
+        assert outcome.final_run.returned("rd2") == 1
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_byzantine_budget_respected(self, k):
+        outcome = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=k), k=k
+        ).execute(keep_runs=True)
+        for run in outcome.kept_runs:
+            assert run.malicious_object_count() <= t_k(k), run.name
+
+    def test_reader_count_is_k(self):
+        k = 3
+        outcome = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=k), k=k
+        ).execute(keep_runs=True)
+        for run in outcome.kept_runs:
+            readers = {op.client for op in run.ops.values() if op.kind == "read"}
+            assert len(readers) <= k
+
+    def test_run_chain_length(self):
+        k = 2
+        outcome = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=k), k=k
+        ).execute()
+        # (pr_l, prC_l, Δpr_l) per level.
+        assert outcome.runs_executed == 3 * k
+
+    def test_proposition_2_scaled_instance(self):
+        """Blocks multiplied by c=2: S = 2(3t_2+1) = 14, t = 4."""
+        construction = WriteLowerBoundConstruction(
+            lambda: ThreeRoundReadProtocol(write_rounds=2), k=2, scale=2
+        )
+        assert construction.t == 2 * t_k(2)
+        assert construction.partition.S == 2 * (3 * t_k(2) + 1)
+        outcome = construction.execute()
+        assert outcome.certificate.valid, outcome.certificate.render()
+
+
+class TestConfiguration:
+    def test_wrong_write_round_count_rejected(self):
+        with pytest.raises(ConstructionError):
+            WriteLowerBoundConstruction(
+                lambda: ThreeRoundReadProtocol(write_rounds=3), k=2
+            )
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ConstructionError):
+            WriteLowerBoundConstruction(
+                lambda: ThreeRoundReadProtocol(write_rounds=1), k=0
+            )
+
+
+class TestTightness:
+    def test_four_round_read_transform_escapes(self):
+        """The matching 4-round-read implementation cannot be trapped: its
+        reads do not terminate within the three scripted rounds."""
+
+        class FourRoundVictimFactory:
+            def __call__(self):
+                protocol = RegularToAtomicProtocol(
+                    lambda: FastRegularProtocol(), n_readers=2
+                )
+                protocol.write_rounds = 2  # satisfies the k check
+                return protocol
+
+        construction = WriteLowerBoundConstruction(FourRoundVictimFactory(), k=2)
+        with pytest.raises(ConstructionEscape):
+            construction.execute()
