@@ -14,63 +14,44 @@ regime each protocol's model covers,
 
 Expected ordering: ABD < tokens(3R) < unauthenticated(4R), with the bounded
 protocol degrading with t.
+
+The grid is driven entirely by the :mod:`repro.api` facade: each protocol's
+covered scenarios come from its registry metadata, and the measurements are
+a :func:`repro.api.sweep` over that grid.
 """
 
 from benchmarks._output import emit
-from repro.analysis.metrics import measure_latency
 from repro.analysis.tables import format_table
-from repro.registers.abd import AbdProtocol
-from repro.registers.base import RegisterSystem
-from repro.registers.bounded_regular import BoundedRegularProtocol
-from repro.registers.fast_regular import FastRegularProtocol
-from repro.registers.secret_token import SecretTokenProtocol
-from repro.registers.transform_atomic import RegularToAtomicProtocol
-from repro.workloads.generator import WorkloadGenerator
-from repro.workloads.scenarios import standard_scenarios
+from repro.api import get_spec, sweep
 
 N_READERS = 2
 T = 1
 
-PROTOCOLS = [
-    ("abd (crash baseline)", lambda: AbdProtocol(), ("fault-free", "crash", "silent"), "atomic"),
-    ("fast-regular [GV06-style]", lambda: FastRegularProtocol("replay"),
-     ("fault-free", "crash", "silent", "replay"), "regular"),
-    ("bounded-regular [AAB07-style]", lambda: BoundedRegularProtocol(),
-     ("fault-free", "silent", "fabricate"), "regular"),
-    ("secret-token [DMSS09-style]", lambda: SecretTokenProtocol(),
-     ("fault-free", "silent", "replay", "fabricate"), "regular"),
-    ("ATOMIC = transform(fast-regular)",
-     lambda: RegularToAtomicProtocol(lambda: FastRegularProtocol("replay"), n_readers=N_READERS),
-     ("fault-free", "crash", "silent", "replay"), "atomic"),
-    ("ATOMIC = transform(secret-token)",
-     lambda: RegularToAtomicProtocol(lambda: SecretTokenProtocol(), n_readers=N_READERS),
-     ("fault-free", "silent", "replay", "fabricate"), "atomic"),
-]
+#: Registry names of the protocols the paper's Section 5 table compares.
+PROTOCOLS = (
+    "abd",
+    "fast-regular",
+    "bounded-regular",
+    "secret-token",
+    "atomic-fast-regular",
+    "atomic-secret-token",
+)
 
 
 def _measure_all():
+    result = sweep(PROTOCOLS, t=T, n_readers=N_READERS, operations=10, spacing=150, seed=17)
+    assert result.runs, "sweep produced no runs"
     rows = []
-    scenarios = {s.name: s for s in standard_scenarios(T)}
-    for name, factory, covered, semantics in PROTOCOLS:
-        worst_write = 0
-        worst_read = 0
-        for scenario_name in covered:
-            scenario = scenarios[scenario_name]
-            system = RegisterSystem(
-                factory(), t=T, n_readers=N_READERS,
-                behaviors=scenario.fault_plan.behaviors(T),
-            )
-            plans = WorkloadGenerator(seed=17, n_readers=N_READERS, spacing=150).plan(10)
-            report = measure_latency(system, plans, scenario=scenario_name)
-            assert report.incomplete == 0, (name, scenario_name)
-            worst_write = max(worst_write, report.worst_write)
-            worst_read = max(worst_read, report.worst_read)
+    for name in result.protocols():
+        spec = get_spec(name)
+        assert sum(r.incomplete for r in result.for_protocol(name)) == 0, name
+        worst_write, worst_read = result.worst_rounds(name)
         rows.append({
             "protocol": name,
-            "semantics": semantics,
+            "semantics": spec.semantics,
             "write rounds (worst)": str(worst_write),
             "read rounds (worst)": str(worst_read),
-            "scenarios": ",".join(covered),
+            "scenarios": ",".join(spec.scenarios),
         })
     return rows
 
@@ -84,40 +65,42 @@ def test_latency_matrix(benchmark):
     )
     emit("latency_matrix", table)
     by_name = {row["protocol"]: row for row in rows}
-    assert by_name["abd (crash baseline)"]["write rounds (worst)"] == "1"
-    assert by_name["abd (crash baseline)"]["read rounds (worst)"] == "2"
-    assert by_name["ATOMIC = transform(fast-regular)"]["write rounds (worst)"] == "2"
-    assert by_name["ATOMIC = transform(fast-regular)"]["read rounds (worst)"] == "4"
-    assert by_name["ATOMIC = transform(secret-token)"]["read rounds (worst)"] == "3"
-    assert by_name["secret-token [DMSS09-style]"]["read rounds (worst)"] == "1"
+    assert by_name["abd"]["write rounds (worst)"] == "1"
+    assert by_name["abd"]["read rounds (worst)"] == "2"
+    assert by_name["atomic-fast-regular"]["write rounds (worst)"] == "2"
+    assert by_name["atomic-fast-regular"]["read rounds (worst)"] == "4"
+    assert by_name["atomic-secret-token"]["read rounds (worst)"] == "3"
+    assert by_name["secret-token"]["read rounds (worst)"] == "1"
 
 
 def test_bounded_regular_reads_degrade_with_t(benchmark):
     """The O(t) regime the paper contrasts with its O(1) upper bounds."""
 
-    def sweep():
+    def sweep_bounds():
+        spec = get_spec("bounded-regular")
         rows = []
         for t in (1, 2, 3):
-            bound = BoundedRegularProtocol().read_round_bound(t)
             rows.append({
                 "t": str(t),
-                "S": str(3 * t + 1),
-                "read-round bound": str(bound),
-                "fast-regular reads": "2",
-                "token reads": "1",
+                "S": str(spec.min_size(t)),
+                "read-round bound": str(spec.read_round_bound(t)),
+                "fast-regular reads": str(get_spec("fast-regular").read_rounds),
+                "token reads": str(get_spec("secret-token").read_rounds),
             })
         return rows
 
-    rows = benchmark(sweep)
+    rows = benchmark(sweep_bounds)
     table = format_table(
         "Read-round bounds vs t — bounded-regular grows, the matching protocols stay constant",
         ("t", "S", "read-round bound", "fast-regular reads", "token reads"),
         rows,
     )
     emit("bounded_degradation", table)
+    assert [row["read-round bound"] for row in rows] == ["3", "4", "5"]
 
 
 def test_mwmr_round_counts(benchmark):
+    from repro.registers.fast_regular import FastRegularProtocol
     from repro.registers.transform_mwmr import MultiWriterRegisterSystem
 
     def measure():

@@ -1,9 +1,12 @@
 """E7 — the resilience frontier: where each bound applies.
 
-Three facets, all checked mechanically:
+Four facets, all checked mechanically:
 
 * optimal resilience is ``3t + 1`` (footnote 1): Byzantine threshold
   arithmetic rejects ``S = 3t`` and accepts ``3t + 1``;
+* every protocol in the registry lives exactly on its advertised
+  resilience class: the metadata's ``min_size(t)`` is accepted and one
+  object fewer is rejected, for every registered protocol;
 * Proposition 1's scope is ``S ≤ 4t``: the partition builder accepts the
   whole range ``3t + 1 … 4t`` and the conviction succeeds at both ends;
 * masking-quorum analysis shows why ``4t + 1`` buys single-round safe reads
@@ -14,6 +17,7 @@ import pytest
 
 from benchmarks._output import emit
 from repro.analysis.tables import format_table
+from repro.api import get_protocol, protocol_specs
 from repro.core.read_bound import ReadLowerBoundConstruction
 from repro.errors import ConfigurationError
 from repro.quorums.analysis import is_masking_system, threshold_family, threshold_fault_sets
@@ -50,6 +54,41 @@ def test_optimal_resilience_frontier(benchmark):
     emit("resilience_frontier", table)
     assert all(row["S = 3t"] == "rejected" for row in rows)
     assert all(row["freshness witnesses"] == "1" for row in rows)
+
+
+def test_registry_resilience_classes(benchmark):
+    """Every registered protocol sits exactly on its advertised frontier."""
+
+    def probe():
+        rows = []
+        for spec in protocol_specs():
+            verdicts = []
+            for t in (1, 2, 3):
+                minimum = spec.min_size(t)
+                get_protocol(spec.name).validate_configuration(minimum, t)
+                below = "rejected"
+                try:
+                    get_protocol(spec.name).validate_configuration(minimum - 1, t)
+                    below = "ACCEPTED (bug)"
+                except ConfigurationError:
+                    pass
+                verdicts.append(below)
+            rows.append({
+                "protocol": spec.name,
+                "resilience": spec.resilience,
+                "min S (t=1,2,3)": ",".join(str(spec.min_size(t)) for t in (1, 2, 3)),
+                "one below": ",".join(verdicts),
+            })
+        return rows
+
+    rows = benchmark.pedantic(probe, rounds=1, iterations=1)
+    table = format_table(
+        "Registry resilience classes: advertised minimum accepted, one below rejected",
+        ("protocol", "resilience", "min S (t=1,2,3)", "one below"),
+        rows,
+    )
+    emit("registry_resilience", table)
+    assert all(row["one below"] == "rejected,rejected,rejected" for row in rows)
 
 
 @pytest.mark.parametrize("t,S", [(2, 7), (2, 8), (3, 10), (3, 12)])

@@ -1,65 +1,41 @@
 #!/usr/bin/env python3
 """Round-trip latency across the whole protocol suite (Section 5 live).
 
-Runs the same seeded workload over every register protocol in the library
-under its covered fault regimes and prints the measured worst-case rounds —
-the latency matrix of the paper's Section 5, as a table you can regenerate
-on a laptop.
+Runs the same seeded workload over every register protocol in the registry
+under the fault regimes its metadata covers and prints the measured
+worst-case rounds — the latency matrix of the paper's Section 5, as a table
+you can regenerate on a laptop.  One :func:`repro.api.sweep` call replaces
+the hand-wired protocol × scenario grid the seed version carried.
 
 Run:  python examples/latency_comparison.py
 """
 
-from repro.analysis.metrics import measure_latency
 from repro.analysis.tables import format_table
-from repro.registers.abd import AbdProtocol
-from repro.registers.base import RegisterSystem
-from repro.registers.bounded_regular import BoundedRegularProtocol
-from repro.registers.fast_regular import FastRegularProtocol
-from repro.registers.secret_token import SecretTokenProtocol
-from repro.registers.transform_atomic import RegularToAtomicProtocol
-from repro.workloads.generator import WorkloadGenerator
-from repro.workloads.scenarios import standard_scenarios
+from repro.api import get_spec, sweep
 
 T = 1
 N_READERS = 2
 
-SUITE = [
-    ("abd (crash)", lambda: AbdProtocol(), ("fault-free", "crash", "silent")),
-    ("fast-regular", lambda: FastRegularProtocol("replay"),
-     ("fault-free", "crash", "silent", "replay")),
-    ("bounded-regular", lambda: BoundedRegularProtocol(),
-     ("fault-free", "silent", "fabricate")),
-    ("secret-token", lambda: SecretTokenProtocol(),
-     ("fault-free", "silent", "replay", "fabricate")),
-    ("atomic(fast-regular)",
-     lambda: RegularToAtomicProtocol(lambda: FastRegularProtocol("replay"), n_readers=N_READERS),
-     ("fault-free", "crash", "silent", "replay")),
-    ("atomic(secret-token)",
-     lambda: RegularToAtomicProtocol(lambda: SecretTokenProtocol(), n_readers=N_READERS),
-     ("fault-free", "silent", "replay", "fabricate")),
-]
+SUITE = (
+    "abd",
+    "fast-regular",
+    "bounded-regular",
+    "secret-token",
+    "atomic-fast-regular",
+    "atomic-secret-token",
+)
 
 
 def main() -> None:
-    scenarios = {s.name: s for s in standard_scenarios(T)}
+    result = sweep(SUITE, t=T, n_readers=N_READERS, operations=12, spacing=150, seed=23)
     rows = []
-    for name, factory, covered in SUITE:
-        worst = {"write": 0, "read": 0}
-        for scenario_name in covered:
-            scenario = scenarios[scenario_name]
-            system = RegisterSystem(
-                factory(), t=T, n_readers=N_READERS,
-                behaviors=scenario.fault_plan.behaviors(T),
-            )
-            plans = WorkloadGenerator(seed=23, n_readers=N_READERS, spacing=150).plan(12)
-            report = measure_latency(system, plans, scenario=scenario_name)
-            worst["write"] = max(worst["write"], report.worst_write)
-            worst["read"] = max(worst["read"], report.worst_read)
+    for name in result.protocols():
+        worst_write, worst_read = result.worst_rounds(name)
         rows.append({
             "protocol": name,
-            "worst write rounds": str(worst["write"]),
-            "worst read rounds": str(worst["read"]),
-            "regimes": ", ".join(covered),
+            "worst write rounds": str(worst_write),
+            "worst read rounds": str(worst_read),
+            "regimes": ", ".join(get_spec(name).scenarios),
         })
     print(format_table(
         "Measured worst-case communication rounds (t=1, S per protocol minimum)",

@@ -6,44 +6,47 @@ transformation over a GV06-style regular substrate — on four simulated
 storage objects of which one is Byzantine, runs a few operations, verifies
 atomicity, and prints the round counts (2-round writes, 4-round reads).
 
+Everything is addressed by name through the :mod:`repro.api` facade: the
+protocol comes from the registry, the Byzantine behaviour from the fault
+registry, and the result is a structured :class:`repro.api.RunResult`.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import FastRegularProtocol, RegisterSystem, check_swmr_atomicity
-from repro.faults import StaleEchoBehavior
-from repro.registers.transform_atomic import RegularToAtomicProtocol
-from repro.types import object_id
+from repro.api import Cluster
 
 
 def main() -> None:
     # The paper's matching implementation: R+1 regular registers, readers
-    # write back.  t = 1 Byzantine object out of S = 3t + 1 = 4.
-    protocol = RegularToAtomicProtocol(lambda: FastRegularProtocol(), n_readers=2)
-    system = RegisterSystem(protocol, t=1, n_readers=2)
+    # write back.  t = 1 Byzantine object out of S = 3t + 1 = 4; the rogue
+    # object forever replays its pristine state (the proofs' adversary).
+    result = (
+        Cluster("atomic-fast-regular", t=1, n_readers=2)
+        .with_faults("stale-echo", count=1)
+        .with_operations([
+            ("write", "hello", 0),
+            ("read", 1, 60),
+            ("write", "world", 120),
+            ("read", 2, 180),
+            ("read", 1, 240),
+        ])
+        .check("atomicity")
+        .run()
+    )
 
-    # Make one object malicious: it forever replays its pristine state.
-    rogue = system.server(object_id(2))
-    rogue.behavior = StaleEchoBehavior.freezing(rogue)
-
-    system.write("hello", at=0)
-    system.read(1, at=60)
-    system.write("world", at=120)
-    system.read(2, at=180)
-    system.read(1, at=240)
-    system.run()
-
-    history = system.history()
+    trial = result.trials[0]
     print("operation history:")
-    print(history.describe())
+    print(trial.history.describe())
 
-    verdict = check_swmr_atomicity(history)
+    verdict = trial.checks["atomicity"]
     print(f"\natomicity check: {'PASS' if verdict.ok else 'FAIL — ' + verdict.explanation}")
-    print(f"write rounds (worst): {system.max_rounds('write')}  (paper: 2)")
-    print(f"read rounds (worst):  {system.max_rounds('read')}  (paper: 4)")
+    print(f"write rounds (worst): {result.worst_write}  (paper: 2)")
+    print(f"read rounds (worst):  {result.worst_read}  (paper: 4)")
+    print(f"fault inventory:      {result.faults.describe()}")
 
-    assert verdict.ok
-    assert system.max_rounds("write") == 2
-    assert system.max_rounds("read") == 4
+    assert result.ok
+    assert result.worst_write == 2
+    assert result.worst_read == 4
     print("\nquickstart OK — robust atomic storage at the paper's optimal latency")
 
 

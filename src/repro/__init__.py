@@ -5,9 +5,36 @@ read/write storage emulations over simulated fault-prone storage objects,
 together with **executable versions of the paper's two lower-bound proofs**
 and the matching upper-bound constructions of its Section 5.
 
+Quickstart — the :mod:`repro.api` facade
+----------------------------------------
+
+Protocols, fault behaviours, scenarios and consistency checks are all
+addressable **by name**; the :class:`Cluster` builder composes them into a
+structured, repeatable experiment::
+
+    from repro.api import Cluster, available_protocols
+
+    print(available_protocols())          # 'abd', 'fast-regular', ...
+    result = (
+        Cluster("atomic-fast-regular", t=1, n_readers=2)
+        .with_faults("stale-echo", count=1)
+        .with_workload(reads=0.6, spacing=25, operations=12)
+        .check("atomicity")
+        .run(trials=5, seed=7)
+    )
+    assert result.ok and result.worst_read == 4
+    print(result.render())                # per-trial latencies + verdicts
+
+``python -m repro list-protocols`` shows the registry;
+``python -m repro run --protocol abd --faults crash`` runs the same pipeline
+from the command line, and :func:`repro.api.sweep` fans protocol × scenario
+grids into one table (the latency-matrix benchmark is exactly that call).
+
 Public surface overview
 -----------------------
 
+* ``repro.api`` — the facade: protocol / fault registries, the ``Cluster``
+  builder, ``RunResult`` / ``SweepResult``.
 * ``repro.registers`` — the protocol suite (ABD, GV06-style fast regular,
   bounded regular, secret-token regular, regular→atomic and SWMR→MWMR
   transformations, strawmen) and the :class:`RegisterSystem` harness.
@@ -24,7 +51,11 @@ Public surface overview
   generation, latency accounting, and the cloud cost model used by the
   benchmark harness.
 
-Quickstart::
+Low-level API
+-------------
+
+The facade wraps — never replaces — the constructor-driven path, which
+remains fully supported for tests and fine-grained control::
 
     from repro import RegisterSystem, FastRegularProtocol, check_swmr_atomicity
     from repro.registers.transform_atomic import RegularToAtomicProtocol
@@ -69,6 +100,17 @@ from repro.spec import (
     check_swmr_safety,
     is_linearizable,
 )
+from repro.api import (
+    Cluster,
+    RunResult,
+    SweepResult,
+    available_checks,
+    available_faults,
+    available_protocols,
+    get_fault,
+    get_protocol,
+    sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -111,4 +153,14 @@ __all__ = [
     "check_swmr_regularity",
     "check_swmr_safety",
     "is_linearizable",
+    # facade
+    "Cluster",
+    "RunResult",
+    "SweepResult",
+    "sweep",
+    "get_protocol",
+    "get_fault",
+    "available_protocols",
+    "available_faults",
+    "available_checks",
 ]

@@ -8,6 +8,11 @@ Commands:
 * ``write-bound`` [--k K]           — run Lemma 1, print the certificate.
 * ``latency``                       — measure the Section 5 latency matrix.
 * ``recurrence`` [--max-k K]        — print the t_k table and the log bound.
+* ``list-protocols``                — the protocol registry: names, models,
+                                      resilience classes, advertised rounds.
+* ``run`` --protocol NAME [--faults NAME] [--t T] [--trials N] … — build a
+  registry-driven experiment through the :class:`repro.api.Cluster` facade,
+  run it, print per-trial latencies and consistency-check verdicts.
 
 Everything runs in seconds on a laptop; nothing touches the network.
 """
@@ -89,6 +94,52 @@ def _cmd_recurrence(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_protocols(_args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.api import protocol_specs
+
+    rows = []
+    for spec in protocol_specs():
+        rows.append({
+            "name": spec.name,
+            "model": spec.model,
+            "semantics": spec.semantics,
+            "resilience": spec.resilience,
+            "writes": str(spec.write_rounds),
+            "reads": spec.reads_description(),
+            "description": spec.description,
+        })
+    print(format_table(
+        "registered protocols",
+        ("name", "model", "semantics", "resilience", "writes", "reads", "description"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import Cluster, get_spec
+    from repro.errors import ConfigurationError
+
+    cluster = Cluster(args.protocol, t=args.t, S=args.S, n_readers=args.readers)
+    if args.faults:
+        cluster = cluster.with_faults(args.faults, count=args.count, strict=args.strict)
+    elif args.count != 1 or args.strict:
+        raise ConfigurationError("--count/--strict have no effect without --faults")
+    cluster = cluster.with_workload(reads=args.reads, spacing=args.spacing, operations=args.ops)
+    checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
+    result = cluster.check(*checks).run(trials=args.trials, seed=args.seed)
+    print(result.render())
+    if not result.ok:
+        for trial, verdict in result.failures():
+            print(f"trial {trial}: {verdict.check} FAILED — {verdict.explanation}")
+        if result.incomplete:
+            print(f"{result.incomplete} operations did not complete")
+        return 1
+    print(f"\nall {len(result.trials)} trials complete; checks passed: {', '.join(checks)}")
+    return 0
+
+
 def _cmd_summary(_args: argparse.Namespace) -> int:
     from repro.core.read_bound import ReadLowerBoundConstruction
     from repro.core.write_bound import WriteLowerBoundConstruction
@@ -132,6 +183,25 @@ def main(argv: list[str] | None = None) -> int:
     recurrence = sub.add_parser("recurrence", help="print t_k and the log bound")
     recurrence.add_argument("--max-k", type=int, default=10)
 
+    sub.add_parser("list-protocols", help="show the protocol registry")
+
+    run = sub.add_parser("run", help="run a registry-driven experiment")
+    run.add_argument("--protocol", required=True, help="registry name (see list-protocols)")
+    run.add_argument("--t", type=int, default=1, help="fault threshold")
+    run.add_argument("--S", type=int, default=None, help="object count (default: protocol minimum)")
+    run.add_argument("--readers", type=int, default=2, help="reader population")
+    run.add_argument("--faults", default=None, help="fault behaviour name (e.g. crash, stale-echo)")
+    run.add_argument("--count", type=int, default=1, help="how many objects misbehave")
+    run.add_argument("--strict", action="store_true",
+                     help="error instead of clamping --count to t")
+    run.add_argument("--trials", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--ops", type=int, default=10, help="operations per trial")
+    run.add_argument("--reads", type=float, default=0.6, help="read fraction")
+    run.add_argument("--spacing", type=int, default=50, help="mean gap between invocations")
+    run.add_argument("--check", action="append", default=None,
+                     help="consistency check to run (repeatable; default: the protocol's own)")
+
     args = parser.parse_args(argv)
     handlers = {
         "summary": _cmd_summary,
@@ -139,8 +209,18 @@ def main(argv: list[str] | None = None) -> int:
         "write-bound": _cmd_write_bound,
         "latency": _cmd_latency,
         "recurrence": _cmd_recurrence,
+        "list-protocols": _cmd_list_protocols,
+        "run": _cmd_run,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except Exception as error:  # ReproError and friends → friendly exit
+        from repro.errors import ReproError
+
+        if isinstance(error, ReproError):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

@@ -1,0 +1,82 @@
+"""Unified experiment facade: registries plus the declarative builder.
+
+This package is the high-level entry point of the library — everything an
+experiment needs, addressable as data:
+
+* :mod:`repro.api.registry` — the **protocol registry**: every protocol in
+  :mod:`repro.registers` registers itself by name with metadata (fault
+  model, semantics, resilience class, advertised rounds, covered
+  scenarios).  ``get_protocol("abd")`` replaces hand-wired imports.
+* :mod:`repro.api.faults` — the **fault-behaviour registry** for the
+  adversary layer (``crash``, ``silent``, ``stale-echo``, ``fabricating``,
+  ``flaky``).
+* :mod:`repro.api.cluster` — the declarative :class:`Cluster` builder and
+  the structured :class:`RunResult` / :class:`SweepResult` it produces,
+  plus :func:`sweep` for protocol × scenario grids.
+
+Quickstart::
+
+    from repro.api import Cluster, available_protocols
+
+    print(available_protocols())
+    result = (
+        Cluster("atomic-fast-regular", t=1)
+        .with_faults("stale-echo", count=1)
+        .check("atomicity")
+        .run(trials=5, seed=7)
+    )
+    assert result.ok and result.worst_read == 4
+"""
+
+from repro.api.registry import (
+    ProtocolSpec,
+    available_protocols,
+    get_protocol,
+    get_spec,
+    protocol_specs,
+    register_protocol,
+)
+from repro.api.faults import (
+    FaultSpec,
+    available_faults,
+    fault_spec,
+    fault_specs,
+    get_fault,
+    register_fault,
+)
+from repro.api.cluster import (
+    CheckVerdict,
+    Cluster,
+    FaultInventory,
+    RunResult,
+    SweepResult,
+    TrialResult,
+    available_checks,
+    sweep,
+)
+
+__all__ = [
+    # protocol registry
+    "ProtocolSpec",
+    "register_protocol",
+    "get_protocol",
+    "get_spec",
+    "available_protocols",
+    "protocol_specs",
+    # fault registry
+    "FaultSpec",
+    "register_fault",
+    "get_fault",
+    "fault_spec",
+    "fault_specs",
+    "available_faults",
+    # builder + results
+    "Cluster",
+    "CheckVerdict",
+    "FaultInventory",
+    "TrialResult",
+    "RunResult",
+    "SweepResult",
+    "available_checks",
+    "sweep",
+]

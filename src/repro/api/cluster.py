@@ -1,0 +1,639 @@
+"""Declarative experiment builder: protocol × adversary × workload × checks.
+
+:class:`Cluster` is the facade every entry point (CLI, benchmarks, examples,
+tests) composes experiments through::
+
+    from repro.api import Cluster
+
+    result = (
+        Cluster("fast-regular", t=2)
+        .with_faults("stale-echo", count=2)
+        .with_workload(reads=0.6, spacing=25, operations=12)
+        .check("atomicity", "regularity")
+        .run(trials=20, seed=7)
+    )
+    assert result.trials[0].checks["regularity"].ok
+    print(result.render())
+
+Builder methods return **new** ``Cluster`` instances (fluent, immutable), so
+partial configurations can be reused as templates across sweeps.  ``run``
+builds one fresh :class:`~repro.registers.base.RegisterSystem` per trial
+(protocols and behaviours are stateful), replays a seeded workload through
+:func:`repro.analysis.metrics.measure_latency`, runs the requested spec
+checkers on the recorded history, and returns a structured
+:class:`RunResult` — per-trial latencies, round counts, check verdicts and
+the materialized fault inventory.
+
+:func:`sweep` fans a protocol × scenario grid into a :class:`SweepResult`
+(the shape the latency-matrix benchmark renders).
+"""
+
+from __future__ import annotations
+
+import copy
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.metrics import measure_latency
+from repro.analysis.tables import format_table
+from repro.api.faults import fault_spec
+from repro.api.registry import ProtocolSpec, available_protocols, get_spec
+from repro.errors import ConfigurationError
+from repro.registers.base import RegisterSystem, resolve_reader
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.history import History
+from repro.spec.linearizability import is_linearizable
+from repro.spec.regularity import check_swmr_regularity
+from repro.spec.safety import check_swmr_safety
+from repro.types import ProcessId, object_id, reader_ids
+from repro.workloads.generator import OperationPlan, WorkloadGenerator
+from repro.workloads.scenarios import Scenario, get_scenario
+
+
+# --------------------------------------------------------------------- #
+# Check registry
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class CheckVerdict:
+    """Outcome of one consistency check on one trial's history."""
+
+    check: str
+    ok: bool
+    explanation: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"check": self.check, "ok": self.ok, "explanation": self.explanation}
+
+
+def _verdict_check(name: str, checker: Callable[[History], Any]) -> Callable[[History], CheckVerdict]:
+    def run(history: History) -> CheckVerdict:
+        verdict = checker(history)
+        return CheckVerdict(check=name, ok=verdict.ok, explanation=verdict.explanation or "")
+
+    return run
+
+
+def _linearizability_check(history: History) -> CheckVerdict:
+    ok = is_linearizable(history)
+    return CheckVerdict(
+        check="linearizability",
+        ok=ok,
+        explanation="" if ok else "no linearization of the recorded history exists",
+    )
+
+
+CHECKS: dict[str, Callable[[History], CheckVerdict]] = {
+    "atomicity": _verdict_check("atomicity", check_swmr_atomicity),
+    "regularity": _verdict_check("regularity", check_swmr_regularity),
+    "safety": _verdict_check("safety", check_swmr_safety),
+    "linearizability": _linearizability_check,
+}
+
+
+def available_checks() -> tuple[str, ...]:
+    """All consistency checks addressable from :meth:`Cluster.check`."""
+    return tuple(sorted(CHECKS))
+
+
+# --------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInventory:
+    """What the adversary actually got: requested vs effective faults.
+
+    ``effective`` may be below ``requested`` when a non-strict plan clamps
+    to the threshold ``t`` (the clamp is always recorded here so sweeps
+    cannot silently under-fault).
+    """
+
+    requested: int
+    effective: int
+    assignments: Mapping[str, str]  # object id → behaviour description
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requested": self.requested,
+            "effective": self.effective,
+            "assignments": dict(self.assignments),
+        }
+
+    def describe(self) -> str:
+        if not self.assignments:
+            return "fault-free"
+        parts = [f"{pid}:{how}" for pid, how in sorted(self.assignments.items())]
+        note = "" if self.effective == self.requested else f" (requested {self.requested})"
+        return ", ".join(parts) + note
+
+
+@dataclass(slots=True)
+class TrialResult:
+    """One trial: latencies, completion and check verdicts.
+
+    ``history`` keeps the recorded operation history for drill-down (not
+    serialized by :meth:`to_dict` — it is a live object graph).
+    """
+
+    trial: int
+    seed: int | None
+    write_rounds: list[int]
+    read_rounds: list[int]
+    incomplete: int
+    checks: dict[str, CheckVerdict]
+    history: History | None = None
+
+    @property
+    def worst_write(self) -> int:
+        return max(self.write_rounds, default=0)
+
+    @property
+    def worst_read(self) -> int:
+        return max(self.read_rounds, default=0)
+
+    @property
+    def mean_write(self) -> float:
+        return statistics.fmean(self.write_rounds) if self.write_rounds else 0.0
+
+    @property
+    def mean_read(self) -> float:
+        return statistics.fmean(self.read_rounds) if self.read_rounds else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """All requested checks passed and every operation completed."""
+        return self.incomplete == 0 and all(v.ok for v in self.checks.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trial": self.trial,
+            "seed": self.seed,
+            "write_rounds": list(self.write_rounds),
+            "read_rounds": list(self.read_rounds),
+            "incomplete": self.incomplete,
+            "checks": {name: verdict.to_dict() for name, verdict in self.checks.items()},
+        }
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Structured outcome of :meth:`Cluster.run` across all trials."""
+
+    protocol: str
+    semantics: str
+    t: int
+    S: int
+    n_readers: int
+    scenario: str
+    faults: FaultInventory
+    checks: tuple[str, ...]
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def worst_write(self) -> int:
+        return max((trial.worst_write for trial in self.trials), default=0)
+
+    @property
+    def worst_read(self) -> int:
+        return max((trial.worst_read for trial in self.trials), default=0)
+
+    @property
+    def mean_write(self) -> float:
+        rounds = [r for trial in self.trials for r in trial.write_rounds]
+        return statistics.fmean(rounds) if rounds else 0.0
+
+    @property
+    def mean_read(self) -> float:
+        rounds = [r for trial in self.trials for r in trial.read_rounds]
+        return statistics.fmean(rounds) if rounds else 0.0
+
+    @property
+    def incomplete(self) -> int:
+        return sum(trial.incomplete for trial in self.trials)
+
+    @property
+    def ok(self) -> bool:
+        """Every trial completed all operations and passed all checks."""
+        return all(trial.ok for trial in self.trials)
+
+    def failures(self) -> list[tuple[int, CheckVerdict]]:
+        """Every failed (trial index, verdict) pair, for diagnostics."""
+        return [
+            (trial.trial, verdict)
+            for trial in self.trials
+            for verdict in trial.checks.values()
+            if not verdict.ok
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "semantics": self.semantics,
+            "t": self.t,
+            "S": self.S,
+            "n_readers": self.n_readers,
+            "scenario": self.scenario,
+            "faults": self.faults.to_dict(),
+            "checks": list(self.checks),
+            "trials": [trial.to_dict() for trial in self.trials],
+            "worst_write": self.worst_write,
+            "worst_read": self.worst_read,
+            "incomplete": self.incomplete,
+            "ok": self.ok,
+        }
+
+    def row(self) -> dict[str, str]:
+        """One aggregate table row (the latency-matrix shape)."""
+        checks = ",".join(
+            f"{name}:{'ok' if all(t.checks[name].ok for t in self.trials) else 'FAIL'}"
+            for name in self.checks
+        ) or "-"
+        return {
+            "protocol": self.protocol,
+            "scenario": self.scenario,
+            "writes (worst/mean)": f"{self.worst_write}/{self.mean_write:.2f}",
+            "reads (worst/mean)": f"{self.worst_read}/{self.mean_read:.2f}",
+            "incomplete": str(self.incomplete),
+            "checks": checks,
+        }
+
+    def render(self) -> str:
+        """Per-trial table plus the fault inventory, ready to print."""
+        rows = []
+        for trial in self.trials:
+            rows.append({
+                "trial": str(trial.trial),
+                "seed": "-" if trial.seed is None else str(trial.seed),
+                "writes (worst/mean)": f"{trial.worst_write}/{trial.mean_write:.2f}",
+                "reads (worst/mean)": f"{trial.worst_read}/{trial.mean_read:.2f}",
+                "incomplete": str(trial.incomplete),
+                "checks": ",".join(
+                    f"{name}:{'ok' if verdict.ok else 'FAIL'}"
+                    for name, verdict in trial.checks.items()
+                ) or "-",
+            })
+        title = (
+            f"{self.protocol} [{self.semantics}] — t={self.t}, S={self.S}, "
+            f"{self.n_readers} readers, faults: {self.faults.describe()}"
+        )
+        return format_table(
+            title,
+            ("trial", "seed", "writes (worst/mean)", "reads (worst/mean)", "incomplete", "checks"),
+            rows,
+        )
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Results of a protocol × scenario sweep, renderable as one table."""
+
+    runs: list[RunResult] = field(default_factory=list)
+
+    def protocols(self) -> tuple[str, ...]:
+        """Protocol names in first-seen order."""
+        seen: dict[str, None] = {}
+        for run in self.runs:
+            seen.setdefault(run.protocol, None)
+        return tuple(seen)
+
+    def for_protocol(self, name: str) -> list[RunResult]:
+        return [run for run in self.runs if run.protocol == name]
+
+    def worst_rounds(self, name: str) -> tuple[int, int]:
+        """(worst write, worst read) for ``name`` across its scenarios."""
+        runs = self.for_protocol(name)
+        if not runs:
+            raise ConfigurationError(f"no runs recorded for protocol {name!r}")
+        return (max(r.worst_write for r in runs), max(r.worst_read for r in runs))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"runs": [run.to_dict() for run in self.runs]}
+
+    def table(self, title: str = "protocol × scenario sweep") -> str:
+        columns = ("protocol", "scenario", "writes (worst/mean)", "reads (worst/mean)",
+                   "incomplete", "checks")
+        return format_table(title, columns, [run.row() for run in self.runs])
+
+
+# --------------------------------------------------------------------- #
+# The builder
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class _FaultGroup:
+    """One ``with_faults`` request before materialization."""
+
+    fault: str
+    count: int
+    strict: bool
+    kwargs: tuple[tuple[str, Any], ...]
+
+
+class Cluster:
+    """Fluent experiment builder over a registered protocol name.
+
+    Args:
+        protocol: a registry name/alias (see :func:`available_protocols`)
+            or a :class:`~repro.api.registry.ProtocolSpec`.
+        t: declared fault threshold.
+        S: object count (defaults to the protocol's minimum for ``t``).
+        n_readers: reader population.
+        allow_overfault: permit more than ``t`` faulty objects (demolition
+            experiments).
+        protocol_kwargs: forwarded to the protocol factory per trial.
+    """
+
+    def __init__(
+        self,
+        protocol: str | ProtocolSpec,
+        t: int = 1,
+        S: int | None = None,
+        n_readers: int = 2,
+        allow_overfault: bool = False,
+        **protocol_kwargs: Any,
+    ) -> None:
+        self._spec = protocol if isinstance(protocol, ProtocolSpec) else get_spec(protocol)
+        if t < 0:
+            raise ConfigurationError("t must be non-negative")
+        if n_readers < 1:
+            raise ConfigurationError("need at least one reader")
+        self._t = t
+        self._S = S
+        self._n_readers = n_readers
+        self._allow_overfault = allow_overfault
+        self._protocol_kwargs = dict(protocol_kwargs)
+        self._fault_groups: tuple[_FaultGroup, ...] = ()
+        self._scenario: Scenario | None = None
+        self._read_fraction = 0.6
+        self._spacing = 25
+        self._operations = 10
+        self._explicit_plans: tuple[OperationPlan, ...] | None = None
+        self._checks: tuple[str, ...] = ()
+
+    @property
+    def spec(self) -> ProtocolSpec:
+        """The protocol registry entry this cluster is built on."""
+        return self._spec
+
+    def _clone(self) -> "Cluster":
+        return copy.copy(self)
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration
+    # ------------------------------------------------------------------ #
+
+    def with_faults(
+        self, fault: str, count: int = 1, strict: bool = False, **kwargs: Any
+    ) -> "Cluster":
+        """Give ``count`` objects the registered behaviour ``fault``.
+
+        Multiple calls stack (objects are assigned in order).  The total is
+        clamped to ``t`` unless ``allow_overfault`` was set; with
+        ``strict=True`` the clamp raises instead, so sweeps cannot silently
+        under-fault.  ``kwargs`` go to the behaviour maker (e.g.
+        ``with_faults("crash", survive_messages=5)``).
+        """
+        spec = fault_spec(fault)  # validates the name early
+        if count < 0:
+            raise ConfigurationError("fault count must be non-negative")
+        clone = self._clone()
+        clone._scenario = None
+        clone._fault_groups = self._fault_groups + (
+            _FaultGroup(fault=spec.name, count=count, strict=strict,
+                        kwargs=tuple(sorted(kwargs.items()))),
+        )
+        return clone
+
+    def with_scenario(self, name: str) -> "Cluster":
+        """Adopt a named scenario: its fault plan *and* workload shape."""
+        scenario = get_scenario(name, self._t)
+        clone = self._clone()
+        clone._scenario = scenario
+        clone._fault_groups = ()
+        clone._read_fraction = scenario.read_fraction
+        clone._spacing = scenario.spacing
+        return clone
+
+    def with_workload(
+        self,
+        reads: float | None = None,
+        spacing: int | None = None,
+        operations: int | None = None,
+    ) -> "Cluster":
+        """Shape the generated workload (read fraction, spacing, length)."""
+        clone = self._clone()
+        if reads is not None:
+            if not 0.0 <= reads <= 1.0:
+                raise ConfigurationError("reads must be a probability")
+            clone._read_fraction = reads
+        if spacing is not None:
+            if spacing < 0:
+                raise ConfigurationError("spacing must be non-negative")
+            clone._spacing = spacing
+        if operations is not None:
+            if operations < 1:
+                raise ConfigurationError("need at least one operation")
+            clone._operations = operations
+        clone._explicit_plans = None
+        return clone
+
+    def with_operations(
+        self, operations: Iterable[OperationPlan | tuple[Any, ...]]
+    ) -> "Cluster":
+        """Use an explicit schedule instead of a generated workload.
+
+        Accepts :class:`OperationPlan` entries or shorthand tuples:
+        ``("write", value, at)`` and ``("read", reader_index, at)``.
+        The same schedule is replayed in every trial.
+        """
+        plans: list[OperationPlan] = []
+        readers = reader_ids(self._n_readers)
+        for entry in operations:
+            if not isinstance(entry, OperationPlan):
+                kind, arg, at = entry
+                if kind == "write":
+                    entry = OperationPlan(kind="write", client_index=1, value=arg, at=at)
+                elif kind == "read":
+                    entry = OperationPlan(kind="read", client_index=arg, value=None, at=at)
+                else:
+                    raise ConfigurationError(f"operation kind must be read/write, got {kind!r}")
+            if entry.kind == "read":
+                resolve_reader(readers, entry.client_index)
+            plans.append(entry)
+        clone = self._clone()
+        clone._explicit_plans = tuple(plans)
+        return clone
+
+    def check(self, *names: str) -> "Cluster":
+        """Run the named consistency checks on every trial's history."""
+        for name in names:
+            if name not in CHECKS:
+                raise ConfigurationError(
+                    f"unknown check {name!r}; available: {', '.join(available_checks())}"
+                )
+        clone = self._clone()
+        clone._checks = self._checks + names
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+
+    def _materialize_faults(self) -> tuple[dict[ProcessId, Any], FaultInventory]:
+        if self._scenario is not None:
+            plan = self._scenario.fault_plan
+            behaviors = dict(plan.behaviors(self._t))
+            requested = plan.count if plan.maker is not None else 0
+        else:
+            requested = sum(group.count for group in self._fault_groups)
+            budget = requested if self._allow_overfault else self._t
+            if requested > budget and any(g.strict for g in self._fault_groups):
+                raise ConfigurationError(
+                    f"strict fault plan requests {requested} faulty objects "
+                    f"but the threshold is t={self._t}"
+                )
+            behaviors = {}
+            index = 1
+            remaining = min(requested, budget)
+            for group in self._fault_groups:
+                spec = fault_spec(group.fault)
+                for _ in range(min(group.count, remaining)):
+                    behaviors[object_id(index)] = spec.build(**dict(group.kwargs))
+                    index += 1
+                remaining -= min(group.count, remaining)
+        inventory = FaultInventory(
+            requested=requested,
+            effective=len(behaviors),
+            assignments={str(pid): b.describe() for pid, b in sorted(behaviors.items())},
+        )
+        return behaviors, inventory
+
+    def _scenario_label(self) -> str:
+        if self._scenario is not None:
+            return self._scenario.name
+        if not self._fault_groups:
+            return "fault-free"
+        return "+".join(f"{g.fault}×{g.count}" for g in self._fault_groups)
+
+    def _plans(self, seed: int) -> list[OperationPlan]:
+        if self._explicit_plans is not None:
+            return list(self._explicit_plans)
+        generator = WorkloadGenerator(
+            seed=seed,
+            n_readers=self._n_readers,
+            read_fraction=self._read_fraction,
+            spacing=self._spacing,
+        )
+        return generator.plan(self._operations)
+
+    def build_system(self) -> RegisterSystem:
+        """One configured :class:`RegisterSystem` — the low-level escape hatch."""
+        behaviors, _ = self._materialize_faults()
+        return RegisterSystem(
+            self._spec.build(n_readers=self._n_readers, **self._protocol_kwargs),
+            t=self._t,
+            S=self._S,
+            n_readers=self._n_readers,
+            behaviors=behaviors,
+            allow_overfault=self._allow_overfault,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, trials: int = 1, seed: int = 0, keep_history: bool = True) -> RunResult:
+        """Run ``trials`` independent executions and collect the results.
+
+        Trial ``i`` uses workload seed ``seed + i`` (explicit schedules are
+        replayed verbatim each trial).  Check failures are *recorded*, not
+        raised — inspect :attr:`RunResult.ok` / :meth:`RunResult.failures`.
+        ``keep_history=False`` drops each trial's recorded history after
+        the checks run (large sweeps don't need the live object graphs).
+        """
+        if trials < 1:
+            raise ConfigurationError("need at least one trial")
+        result: RunResult | None = None
+        for index in range(trials):
+            protocol = self._spec.build(n_readers=self._n_readers, **self._protocol_kwargs)
+            behaviors, inventory = self._materialize_faults()
+            system = RegisterSystem(
+                protocol,
+                t=self._t,
+                S=self._S,
+                n_readers=self._n_readers,
+                behaviors=behaviors,
+                allow_overfault=self._allow_overfault,
+            )
+            trial_seed = None if self._explicit_plans is not None else seed + index
+            report = measure_latency(
+                system, self._plans(seed + index), scenario=self._scenario_label()
+            )
+            history = system.history()
+            verdicts = {name: CHECKS[name](history) for name in self._checks}
+            if result is None:
+                result = RunResult(
+                    protocol=self._spec.name,
+                    semantics=self._spec.semantics,
+                    t=self._t,
+                    S=system.ctx.S,
+                    n_readers=self._n_readers,
+                    scenario=self._scenario_label(),
+                    faults=inventory,
+                    checks=self._checks,
+                )
+            result.trials.append(
+                TrialResult(
+                    trial=index,
+                    seed=trial_seed,
+                    write_rounds=list(report.write_rounds),
+                    read_rounds=list(report.read_rounds),
+                    incomplete=report.incomplete,
+                    checks=verdicts,
+                    history=history if keep_history else None,
+                )
+            )
+        assert result is not None
+        return result
+
+
+# --------------------------------------------------------------------- #
+# Sweeps
+# --------------------------------------------------------------------- #
+
+
+def sweep(
+    protocols: Sequence[str] | None = None,
+    *,
+    t: int = 1,
+    n_readers: int = 2,
+    scenarios: Sequence[str] | None = None,
+    operations: int = 10,
+    spacing: int = 150,
+    trials: int = 1,
+    seed: int = 17,
+    checks: Sequence[str] = (),
+) -> SweepResult:
+    """Run every protocol under every scenario its guarantees cover.
+
+    ``protocols`` defaults to the whole registry; ``scenarios`` defaults to
+    each protocol's own advertised coverage (its ``scenarios`` metadata).
+    The same seed is used for every grid cell so rows are comparable.
+    """
+    result = SweepResult()
+    for name in protocols if protocols is not None else available_protocols():
+        spec = get_spec(name)
+        for scenario_name in scenarios if scenarios is not None else spec.scenarios:
+            cluster = (
+                Cluster(name, t=t, n_readers=n_readers)
+                .with_scenario(scenario_name)
+                .with_workload(spacing=spacing, operations=operations)
+                .check(*checks)
+            )
+            result.runs.append(cluster.run(trials=trials, seed=seed, keep_history=False))
+    return result

@@ -1,0 +1,139 @@
+"""Fault-behaviour registry: the adversary layer addressable by name.
+
+Mirrors :mod:`repro.api.registry` for :mod:`repro.faults`: each named entry
+is a **maker** producing a fresh :class:`~repro.sim.process.FaultBehavior`
+per object (behaviours can be stateful, so instances are never shared).
+
+The built-in catalogue covers the behaviours the paper's adversary uses —
+``crash``, ``silent``, ``stale-echo`` (the replay adversary of the proofs)
+and ``fabricating`` (the unauthenticated worst case) — plus the ``flaky``
+omission behaviour used by the chaos tests.  Registration is lazy (first
+lookup imports :mod:`repro.faults`) so this module stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """Registry entry: behaviour maker plus reporting metadata."""
+
+    name: str
+    maker: Callable[..., Any]
+    model: str  # "benign" | "byzantine"
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+
+    def build(self, **kwargs: Any) -> Any:
+        """A fresh behaviour instance."""
+        return self.maker(**kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "aliases": list(self.aliases),
+            "description": self.description,
+        }
+
+
+_FAULTS: dict[str, FaultSpec] = {}
+_ALIASES: dict[str, str] = {}
+_BOOTSTRAPPED = False
+
+
+def register_fault(
+    name: str,
+    maker: Callable[..., Any],
+    *,
+    model: str,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+) -> FaultSpec:
+    """Register ``maker`` as the fault behaviour named ``name``."""
+    spec = FaultSpec(
+        name=name, maker=maker, model=model, aliases=tuple(aliases), description=description
+    )
+    for key in (name, *spec.aliases):
+        if key in _FAULTS or key in _ALIASES:
+            raise ConfigurationError(f"fault behaviour name {key!r} registered twice")
+    _FAULTS[name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = name
+    return spec
+
+
+def _ensure_registered() -> None:
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
+    from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+
+    register_fault(
+        "crash",
+        lambda survive_messages=3: CrashAt(survive_messages=survive_messages),
+        model="benign",
+        description="behave correctly for a few messages, then stop replying",
+    )
+    register_fault(
+        "silent",
+        lambda: SilentBehavior(),
+        model="benign",
+        description="never reply (crashed before the run started)",
+    )
+    register_fault(
+        "stale-echo",
+        lambda: StaleEchoBehavior(frozen_state={}),
+        model="byzantine",
+        aliases=("replay",),
+        description="forever echo a stale genuine state (the proofs' adversary)",
+    )
+    register_fault(
+        "fabricating",
+        lambda fabricate=None: FabricatingBehavior(fabricate),
+        model="byzantine",
+        aliases=("fabricate",),
+        description="reply with fabricated inflated-timestamp states",
+    )
+    register_fault(
+        "flaky",
+        lambda p_reply=0.5, seed=0: flaky_behavior(p_reply=p_reply, seed=seed),
+        model="benign",
+        description="reply honestly with probability p, else stay silent",
+    )
+
+
+def fault_spec(name: str) -> FaultSpec:
+    """The :class:`FaultSpec` registered under ``name`` (or an alias)."""
+    _ensure_registered()
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _FAULTS[canonical]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault behaviour {name!r}; available: {', '.join(available_faults())}"
+        ) from None
+
+
+def get_fault(name: str, **kwargs: Any) -> Any:
+    """A fresh behaviour instance of the fault registered under ``name``."""
+    return fault_spec(name).build(**kwargs)
+
+
+def available_faults() -> tuple[str, ...]:
+    """All registered fault-behaviour names, sorted."""
+    _ensure_registered()
+    return tuple(sorted(_FAULTS))
+
+
+def fault_specs() -> tuple[FaultSpec, ...]:
+    """All registered fault specs, sorted by name."""
+    _ensure_registered()
+    return tuple(_FAULTS[name] for name in sorted(_FAULTS))

@@ -20,6 +20,29 @@ Implements the storage emulations the paper discusses:
 * :mod:`repro.registers.strawman` — deliberately scalable-but-doomed
   protocols (2-round and 3-round reads) used as concrete victims of the
   lower-bound constructions.
+
+The registry
+------------
+
+Every protocol here registers itself with
+:func:`repro.api.registry.register_protocol` — a class decorator (or, for
+the composite transformations, an explicit factory registration) attaching
+the metadata the facade reports: fault model, semantics rung, resilience
+class (both as a formula and an executable ``min_size(t)``), advertised
+round counts, and the named scenarios its guarantees cover.  That makes
+every protocol addressable as data::
+
+    from repro.api import available_protocols, get_protocol, get_spec
+
+    available_protocols()              # ('abd', 'atomic-fast-regular', ...)
+    get_protocol("fast-regular")       # a fresh FastRegularProtocol
+    get_spec("abd").resilience         # 'S ≥ 2t + 1'
+
+Importing this package runs the decorators, so the registry is always
+complete once :mod:`repro.registers` is loaded (the facade does this
+lazily on first lookup).  New protocols only need the decorator — the CLI
+(``python -m repro list-protocols`` / ``run``), the benchmarks and the
+:class:`repro.api.Cluster` builder pick them up automatically.
 """
 
 from repro.registers.base import ProtocolContext, RegisterProtocol, RegisterSystem

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
 from repro.quorums.threshold import CrashThresholds
 from repro.registers.base import ProtocolContext, RegisterProtocol
@@ -48,6 +49,15 @@ class AbdObjectHandler(ObjectHandler):
         return {"error": f"unknown tag {message.tag}"}
 
 
+@register_protocol(
+    "abd",
+    model="crash",
+    semantics="atomic",
+    resilience="S ≥ 2t + 1",
+    min_size=lambda t: 2 * t + 1,
+    scenarios=("fault-free", "crash", "silent"),
+    description="classical crash-tolerant ABD: majority quorums, read write-backs",
+)
 class AbdProtocol(RegisterProtocol):
     """SWMR ABD: 1-round writes, 2-round reads, crash faults only."""
 
@@ -97,6 +107,15 @@ class AbdProtocol(RegisterProtocol):
         return generator()
 
 
+@register_protocol(
+    "mw-abd",
+    model="crash",
+    semantics="atomic",
+    resilience="S ≥ 2t + 1",
+    min_size=lambda t: 2 * t + 1,
+    scenarios=("fault-free", "crash", "silent"),
+    description="multi-writer ABD: query-then-store two-round writes",
+)
 class MultiWriterAbdProtocol(RegisterProtocol):
     """MWMR ABD: both writes and reads take two rounds.
 

@@ -16,7 +16,7 @@ system.run()`` and then check the resulting history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.network import DeliveryPolicy
@@ -24,7 +24,19 @@ from repro.sim.process import FaultBehavior, ObjectHandler, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
 from repro.sim.tracing import MessageTrace
 from repro.spec.history import History, HistoryRecorder
-from repro.types import ProcessId, object_ids, reader_id, reader_ids, writer_id
+from repro.types import BOTTOM, ProcessId, object_ids, reader_id, reader_ids, writer_id
+
+
+def resolve_reader(readers: Sequence[ProcessId], reader_index: int) -> ProcessId:
+    """The reader ``r_{reader_index}`` from ``readers``, or raise.
+
+    Shared by :meth:`RegisterSystem.read` and the :mod:`repro.api` facade so
+    reader-index validation stays in one place.
+    """
+    reader = reader_id(reader_index)
+    if reader not in readers:
+        raise ConfigurationError(f"{reader} is not one of the {len(readers)} readers")
+    return reader
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,8 +170,6 @@ class RegisterSystem:
         The initial value ⊥ is reserved (paper §2.2: "not a valid input
         value for a write").
         """
-        from repro.types import BOTTOM
-
         if value == BOTTOM:
             raise ConfigurationError("⊥ is reserved for the initial value and cannot be written")
         generator = self.protocol.write_generator(self.ctx, value)
@@ -167,9 +177,7 @@ class RegisterSystem:
 
     def read(self, reader_index: int = 1, at: int = 0) -> ClientOperation:
         """Schedule a read by reader ``r_{reader_index}`` at time ``at``."""
-        reader = reader_id(reader_index)
-        if reader not in self.readers:
-            raise ConfigurationError(f"{reader} is not one of the {len(self.readers)} readers")
+        reader = resolve_reader(self.readers, reader_index)
         generator = self.protocol.read_generator(self.ctx, reader)
         return self.simulator.invoke(reader, "read", generator, at=at)
 

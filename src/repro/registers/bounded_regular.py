@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.quorums.threshold import ByzantineThresholds
 from repro.registers.base import ProtocolContext, RegisterProtocol
 from repro.registers.fast_regular import FastRegularObjectHandler, PRE_WRITE, READ_ONE, READ_TWO, WRITE
@@ -31,6 +32,16 @@ from repro.sim.simulator import ProtocolGenerator
 from repro.types import ProcessId, TaggedValue, Timestamp
 
 
+@register_protocol(
+    "bounded-regular",
+    model="byzantine",
+    semantics="regular",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    scenarios=("fault-free", "silent", "fabricate"),
+    read_round_bound=lambda t: t + 2,
+    description="AAB07-style bounded regular register: reads pool vouchers, O(t) rounds",
+)
 class BoundedRegularProtocol(RegisterProtocol):
     """SWMR regular register with voucher-pooling bounded reads."""
 

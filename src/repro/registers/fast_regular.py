@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
 from repro.quorums.threshold import ByzantineThresholds
 from repro.registers.base import ProtocolContext, RegisterProtocol
@@ -83,6 +84,15 @@ class FastRegularObjectHandler(ObjectHandler):
         return {"error": f"unknown tag {message.tag}"}
 
 
+@register_protocol(
+    "fast-regular",
+    model="byzantine",
+    semantics="regular",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    scenarios=("fault-free", "crash", "silent", "replay"),
+    description="GV06-style robust regular register: 2-round writes, 2-round reads",
+)
 class FastRegularProtocol(RegisterProtocol):
     """SWMR regular register, Byzantine model, optimal resilience."""
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.quorums.threshold import ByzantineThresholds
 from repro.registers.base import ProtocolContext, RegisterProtocol
 from repro.registers.fast_regular import (
@@ -76,6 +77,16 @@ def _unanimous(replies: ReplySet, expected: int) -> bool:
     return len(snapshots) == 1
 
 
+@register_protocol(
+    "lucky-atomic",
+    model="byzantine",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    scenarios=("fault-free", "crash", "silent"),
+    aliases=("lucky",),
+    description="best-case-fast atomic register: 1-round lucky paths, 3-round worst case",
+)
 class LuckyAtomicProtocol(RegisterProtocol):
     """Best-case 1-round reads/writes, worst-case 2-round writes / 3-round reads.
 

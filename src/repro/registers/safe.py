@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
 from repro.registers.base import ProtocolContext, RegisterProtocol
 from repro.registers.timestamps import max_candidate, voucher_counts
@@ -47,6 +48,15 @@ class SafeObjectHandler(ObjectHandler):
         return {"error": f"unknown tag {message.tag}"}
 
 
+@register_protocol(
+    "byz-safe",
+    model="byzantine-masking",
+    semantics="safe",
+    resilience="S ≥ 4t + 1",
+    min_size=lambda t: 4 * t + 1,
+    scenarios=("fault-free", "crash", "silent", "replay", "fabricate"),
+    description="Malkhi–Reiter-style safe register over masking quorums",
+)
 class ByzantineSafeProtocol(RegisterProtocol):
     """SWMR safe register: 1-round writes, 1-round reads, ``S ≥ 4t + 1``."""
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
 from repro.quorums.threshold import ByzantineThresholds
 from repro.registers.base import ProtocolContext, RegisterProtocol
@@ -92,6 +93,15 @@ class SecretTokenObjectHandler(ObjectHandler):
         return {"error": f"unknown tag {message.tag}"}
 
 
+@register_protocol(
+    "secret-token",
+    model="secret-token",
+    semantics="regular",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    scenarios=("fault-free", "silent", "replay", "fabricate"),
+    description="DMSS09-style regular register with secret tokens: 1-round reads",
+)
 class SecretTokenProtocol(RegisterProtocol):
     """SWMR regular register, secret-token model: 2W / 1R rounds."""
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
 from repro.registers.base import ProtocolContext, RegisterProtocol
 from repro.registers.timestamps import max_candidate, pooled_voucher_counts
@@ -115,6 +116,17 @@ class _StrawmanBase(RegisterProtocol):
         return generator()
 
 
+@register_protocol(
+    "strawman-2r",
+    model="byzantine",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    scenarios=("fault-free", "silent"),
+    write_rounds=2,
+    aliases=("strawman-2r-read",),
+    description="claims atomicity with 2-round reads — Proposition 1's victim",
+)
 class TwoRoundReadProtocol(_StrawmanBase):
     """Two-round reads on up to ``4t`` objects — Proposition 1's victim."""
 
@@ -144,6 +156,17 @@ class TwoRoundReadProtocol(_StrawmanBase):
         return generator()
 
 
+@register_protocol(
+    "strawman-3r",
+    model="byzantine",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    scenarios=("fault-free", "silent"),
+    write_rounds=2,
+    aliases=("strawman-3r-read",),
+    description="claims atomicity with 3-round reads — Lemma 1's victim",
+)
 class ThreeRoundReadProtocol(_StrawmanBase):
     """Three-round reads on ``3t + 1`` objects — Lemma 1's victim."""
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
 from repro.registers.base import ProtocolContext, RegisterProtocol
 from repro.registers.multiplex import MultiplexObjectHandler, multiplex
@@ -136,3 +137,49 @@ class RegularToAtomicProtocol(RegisterProtocol):
             return best
 
         return generator()
+
+
+def _atomic_over_fast_regular(n_readers: int = 2) -> RegularToAtomicProtocol:
+    from repro.registers.fast_regular import FastRegularProtocol
+
+    return RegularToAtomicProtocol(lambda: FastRegularProtocol("replay"), n_readers=n_readers)
+
+
+def _atomic_over_secret_token(n_readers: int = 2) -> RegularToAtomicProtocol:
+    from repro.registers.secret_token import SecretTokenProtocol
+
+    return RegularToAtomicProtocol(lambda: SecretTokenProtocol(), n_readers=n_readers)
+
+
+register_protocol(
+    "atomic-fast-regular",
+    model="byzantine",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    write_rounds=2,
+    read_rounds=4,
+    scenarios=("fault-free", "crash", "silent", "replay"),
+    needs_readers=True,
+    aliases=("atomic(fast-regular)", "atomic-from[fast-regular]"),
+    description=(
+        "regular→atomic over the GV06-style substrate — "
+        "the paper's time-optimal robust atomic storage (2W/4R)"
+    ),
+    factory=_atomic_over_fast_regular,
+)
+
+register_protocol(
+    "atomic-secret-token",
+    model="secret-token",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    write_rounds=2,
+    read_rounds=3,
+    scenarios=("fault-free", "silent", "replay", "fabricate"),
+    needs_readers=True,
+    aliases=("atomic(secret-token)", "atomic-from[secret-token]"),
+    description="regular→atomic over secret tokens — optimal in that model (2W/3R)",
+    factory=_atomic_over_secret_token,
+)

@@ -2,7 +2,10 @@
 
 The latency-matrix experiment (E6) runs every protocol under every scenario
 here; tests reuse them so benchmark configurations stay covered by the test
-suite.
+suite.  Scenarios are **registry-addressable**: :func:`get_scenario` builds
+one by name for a given threshold, :func:`available_scenarios` lists the
+names, and :func:`register_scenario` adds custom regimes (which the
+:class:`repro.api.cluster.Cluster` facade then accepts by name).
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro.errors import ConfigurationError
 from repro.faults.adversary import CrashAt, SilentBehavior
 from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
 from repro.sim.process import FaultBehavior, ObjectServer
@@ -22,21 +26,40 @@ class FaultPlan:
 
     ``maker`` builds a fresh behaviour per object (behaviours can be
     stateful); ``count`` says how many of the lowest-indexed objects get
-    one.  ``count`` must stay within the system's ``t`` — scenarios model
+    one.  ``count`` is clamped to the system's ``t`` — scenarios model
     legal adversaries, not over-threshold demolition (tests cover that
-    separately).
+    separately).  The clamp is explicit: :meth:`effective_count` reports
+    what a given threshold actually yields, and ``strict=True`` turns the
+    clamp into a :class:`~repro.errors.ConfigurationError` so sweeps cannot
+    silently under-fault.
     """
 
     name: str
     count: int
     maker: Callable[[], FaultBehavior] | None
+    strict: bool = False
+
+    def effective_count(self, t: int) -> int:
+        """How many objects actually misbehave at threshold ``t``."""
+        if self.maker is None:
+            return 0
+        return min(self.count, t)
 
     def behaviors(self, t: int) -> Mapping[ProcessId, FaultBehavior]:
-        """Materialize behaviours for a system with threshold ``t``."""
+        """Materialize behaviours for a system with threshold ``t``.
+
+        Raises :class:`~repro.errors.ConfigurationError` when ``strict``
+        and the requested ``count`` exceeds ``t``.
+        """
         if self.maker is None or self.count == 0:
             return {}
-        how_many = min(self.count, t)
-        return {object_id(i + 1): self.maker() for i in range(how_many)}
+        effective = self.effective_count(t)
+        if self.strict and effective < self.count:
+            raise ConfigurationError(
+                f"fault plan {self.name!r} requests {self.count} faulty objects "
+                f"but the threshold is t={t} (strict)"
+            )
+        return {object_id(i + 1): self.maker() for i in range(effective)}
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,42 +73,92 @@ class Scenario:
     description: str = ""
 
 
+# --------------------------------------------------------------------- #
+# Scenario registry
+# --------------------------------------------------------------------- #
+
+#: name → builder mapping a threshold ``t`` to a concrete :class:`Scenario`.
+_SCENARIOS: dict[str, Callable[[int], Scenario]] = {}
+
+#: Canonical presentation order of the built-in sweep.
+_STANDARD_ORDER = ("fault-free", "crash", "silent", "replay", "fabricate")
+
+
+def register_scenario(
+    name: str, builder: Callable[[int], Scenario], *, overwrite: bool = False
+) -> None:
+    """Register ``builder`` (t → Scenario) under ``name``."""
+    if name in _SCENARIOS and not overwrite:
+        raise ConfigurationError(f"scenario {name!r} registered twice")
+    _SCENARIOS[name] = builder
+
+
+def get_scenario(name: str, t: int) -> Scenario:
+    """Build the scenario registered under ``name`` for threshold ``t``."""
+    try:
+        builder = _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+    return builder(t)
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+register_scenario(
+    "fault-free",
+    lambda t: Scenario(
+        name="fault-free",
+        fault_plan=FaultPlan("none", 0, None),
+        description="synchronous, all objects correct",
+    ),
+)
+register_scenario(
+    "crash",
+    lambda t: Scenario(
+        name="crash",
+        fault_plan=FaultPlan("crash", t, lambda: CrashAt(survive_messages=3)),
+        description=f"{t} objects crash after a few messages",
+    ),
+)
+register_scenario(
+    "silent",
+    lambda t: Scenario(
+        name="silent",
+        fault_plan=FaultPlan("silent", t, lambda: SilentBehavior()),
+        description=f"{t} objects silent from the start",
+    ),
+)
+register_scenario(
+    "replay",
+    lambda t: Scenario(
+        name="replay",
+        fault_plan=FaultPlan("replay", t, lambda: StaleEchoBehavior(frozen_state={})),
+        description=f"{t} objects echo stale genuine states (the proofs' adversary)",
+    ),
+)
+register_scenario(
+    "fabricate",
+    lambda t: Scenario(
+        name="fabricate",
+        fault_plan=FaultPlan("fabricate", t, lambda: FabricatingBehavior()),
+        description=f"{t} objects fabricate inflated timestamps",
+    ),
+)
+
+
 def standard_scenarios(t: int) -> list[Scenario]:
     """The scenario sweep used by tests and the latency benchmarks.
 
-    Four adversary regimes: fault-free, crash, replay (stale-echo — the
-    adversary class of the paper's proofs), and fabrication (the
-    unauthenticated worst case).
+    Four adversary regimes beyond fault-free: crash, silent, replay
+    (stale-echo — the adversary class of the paper's proofs), and
+    fabrication (the unauthenticated worst case).
     """
-    return [
-        Scenario(
-            name="fault-free",
-            fault_plan=FaultPlan("none", 0, None),
-            description="synchronous, all objects correct",
-        ),
-        Scenario(
-            name="crash",
-            fault_plan=FaultPlan("crash", t, lambda: CrashAt(survive_messages=3)),
-            description=f"{t} objects crash after a few messages",
-        ),
-        Scenario(
-            name="silent",
-            fault_plan=FaultPlan("silent", t, lambda: SilentBehavior()),
-            description=f"{t} objects silent from the start",
-        ),
-        Scenario(
-            name="replay",
-            fault_plan=FaultPlan(
-                "replay", t, lambda: StaleEchoBehavior(frozen_state={})
-            ),
-            description=f"{t} objects echo stale genuine states (the proofs' adversary)",
-        ),
-        Scenario(
-            name="fabricate",
-            fault_plan=FaultPlan("fabricate", t, lambda: FabricatingBehavior()),
-            description=f"{t} objects fabricate inflated timestamps",
-        ),
-    ]
+    return [get_scenario(name, t) for name in _STANDARD_ORDER]
 
 
 def freeze_stale_echo(servers: list[ObjectServer], behaviors: Mapping[ProcessId, FaultBehavior]) -> None:

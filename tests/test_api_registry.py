@@ -1,0 +1,182 @@
+"""Tests for the protocol / fault / scenario registries of the facade."""
+
+import pytest
+
+from repro.api import (
+    Cluster,
+    available_faults,
+    available_protocols,
+    fault_spec,
+    get_fault,
+    get_protocol,
+    get_spec,
+    protocol_specs,
+)
+from repro.errors import ConfigurationError
+from repro.registers.base import RegisterProtocol
+from repro.sim.process import FaultBehavior
+from repro.workloads.scenarios import (
+    FaultPlan,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    standard_scenarios,
+)
+
+
+class TestProtocolRegistry:
+    def test_registry_covers_the_whole_suite(self):
+        names = available_protocols()
+        assert len(names) >= 8
+        for expected in (
+            "abd", "mw-abd", "byz-safe", "fast-regular", "bounded-regular",
+            "secret-token", "lucky-atomic", "atomic-fast-regular",
+            "atomic-secret-token", "strawman-2r", "strawman-3r",
+        ):
+            assert expected in names
+
+    def test_every_protocol_constructible_by_name(self):
+        for name in available_protocols():
+            protocol = get_protocol(name)
+            assert isinstance(protocol, RegisterProtocol)
+
+    def test_instances_are_fresh_not_shared(self):
+        assert get_protocol("abd") is not get_protocol("abd")
+
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_metadata_min_size_passes_validation(self, t):
+        for spec in protocol_specs():
+            get_protocol(spec.name).validate_configuration(spec.min_size(t), t)
+
+    @pytest.mark.parametrize("t", [1, 2])
+    def test_one_object_below_minimum_is_rejected(self, t):
+        for spec in protocol_specs():
+            with pytest.raises(ConfigurationError):
+                get_protocol(spec.name).validate_configuration(spec.min_size(t) - 1, t)
+
+    def test_aliases_resolve_to_the_same_spec(self):
+        assert get_spec("lucky") is get_spec("lucky-atomic")
+        assert get_spec("atomic(fast-regular)") is get_spec("atomic-fast-regular")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigurationError, match="abd"):
+            get_protocol("paxos")
+
+    def test_metadata_is_serializable(self):
+        import json
+
+        for spec in protocol_specs():
+            payload = json.dumps(spec.to_dict())
+            assert spec.name in payload
+
+    def test_scenarios_metadata_names_registered_scenarios(self):
+        for spec in protocol_specs():
+            for scenario in spec.scenarios:
+                assert scenario in available_scenarios(), (spec.name, scenario)
+
+    def test_advertised_consistency_check_holds_end_to_end(self):
+        """Each protocol satisfies its own semantics rung on a real run."""
+        for spec in protocol_specs():
+            result = (
+                Cluster(spec.name, t=1)
+                .with_workload(operations=8, spacing=150)
+                .check(spec.default_check())
+                .run(trials=1, seed=3)
+            )
+            assert result.ok, (spec.name, result.failures())
+            assert result.incomplete == 0
+
+    def test_atomic_protocols_run_under_stale_echo_by_name(self):
+        """The acceptance-criterion loop: structured results under faults."""
+        atomic = [s for s in protocol_specs() if s.semantics == "atomic"]
+        assert atomic
+        for spec in atomic:
+            result = (
+                Cluster(spec.name, t=2)
+                .with_faults("stale-echo", count=1)
+                .check("atomicity")
+                .run(trials=3, seed=1)
+            )
+            assert len(result.trials) == 3
+            for trial in result.trials:
+                assert trial.write_rounds or trial.read_rounds
+                assert "atomicity" in trial.checks
+            assert result.faults.effective == 1
+
+
+class TestFaultRegistry:
+    def test_builtin_behaviours_present(self):
+        names = available_faults()
+        for expected in ("crash", "silent", "stale-echo", "fabricating", "flaky"):
+            assert expected in names
+
+    def test_instances_are_behaviours_and_fresh(self):
+        for name in available_faults():
+            behavior = get_fault(name)
+            assert isinstance(behavior, FaultBehavior)
+            assert behavior is not get_fault(name)
+
+    def test_maker_kwargs_forwarded(self):
+        behavior = get_fault("crash", survive_messages=7)
+        assert behavior.survive_messages == 7
+
+    def test_aliases(self):
+        assert fault_spec("replay") is fault_spec("stale-echo")
+        assert fault_spec("fabricate") is fault_spec("fabricating")
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="stale-echo"):
+            get_fault("gremlin")
+
+
+class TestScenarioRegistry:
+    def test_standard_scenarios_are_registered(self):
+        assert set(s.name for s in standard_scenarios(2)) <= set(available_scenarios())
+
+    def test_get_scenario_builds_for_threshold(self):
+        scenario = get_scenario("crash", t=3)
+        assert scenario.fault_plan.count == 3
+        assert len(scenario.fault_plan.behaviors(3)) == 3
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="fault-free"):
+            get_scenario("apocalypse", t=1)
+
+    def test_custom_scenario_registration(self):
+        register_scenario(
+            "one-silent",
+            lambda t: Scenario(
+                name="one-silent",
+                fault_plan=FaultPlan("one-silent", 1, lambda: get_fault("silent")),
+            ),
+            overwrite=True,
+        )
+        assert "one-silent" in available_scenarios()
+        result = Cluster("fast-regular", t=2).with_scenario("one-silent").run(seed=5)
+        assert result.faults.effective == 1
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scenario("crash", lambda t: get_scenario("crash", t))
+
+
+class TestFaultPlanClamp:
+    def test_effective_count_reports_the_clamp(self):
+        plan = FaultPlan("crash", 5, lambda: get_fault("crash"))
+        assert plan.effective_count(2) == 2
+        assert len(plan.behaviors(2)) == 2
+
+    def test_strict_plan_raises_instead_of_clamping(self):
+        plan = FaultPlan("crash", 5, lambda: get_fault("crash"), strict=True)
+        with pytest.raises(ConfigurationError, match="strict"):
+            plan.behaviors(2)
+
+    def test_strict_plan_within_threshold_is_fine(self):
+        plan = FaultPlan("crash", 2, lambda: get_fault("crash"), strict=True)
+        assert len(plan.behaviors(2)) == 2
+
+    def test_empty_plan_has_no_effect(self):
+        plan = FaultPlan("none", 0, None, strict=True)
+        assert plan.effective_count(1) == 0
+        assert plan.behaviors(1) == {}

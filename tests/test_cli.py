@@ -35,3 +35,43 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestRegistryCli:
+    def test_list_protocols(self, capsys):
+        assert main(["list-protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in ("abd", "fast-regular", "atomic-fast-regular", "secret-token"):
+            assert name in out
+        assert "S ≥ 3t + 1" in out
+
+    def test_run_fault_free(self, capsys):
+        assert main(["run", "--protocol", "abd"]) == 0
+        out = capsys.readouterr().out
+        assert "atomicity:ok" in out
+        assert "all 3 trials complete" in out
+
+    def test_run_with_faults(self, capsys):
+        assert main(["run", "--protocol", "abd", "--faults", "crash"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-after-3" in out
+
+    def test_run_explicit_checks_and_trials(self, capsys):
+        assert main([
+            "run", "--protocol", "fast-regular", "--t", "2",
+            "--faults", "stale-echo", "--count", "2",
+            "--trials", "2", "--check", "regularity", "--check", "safety",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "regularity:ok" in out and "safety:ok" in out
+
+    def test_run_unknown_protocol_exits_2(self, capsys):
+        assert main(["run", "--protocol", "raft"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_run_strict_overfault_exits_2(self, capsys):
+        assert main([
+            "run", "--protocol", "abd", "--faults", "silent",
+            "--count", "3", "--strict",
+        ]) == 2
+        assert "strict" in capsys.readouterr().err
