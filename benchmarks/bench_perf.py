@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Performance baseline: simulator, checker, and sweep-engine throughput.
+
+Unlike the figure/table benchmarks (which reproduce the paper's *results*),
+this file tracks how fast the reproduction itself runs, so every PR has a
+trajectory to beat.  Three meters:
+
+* **simulator** — events/sec through the event queue + network + round
+  engine on seeded workloads over three protocols;
+* **checker** — linearizability verdicts/sec of the bitmask search on
+  adversarial (overlap-heavy, duplicate-value) histories, against the
+  frozenset reference implementation (whose verdicts must match — the run
+  *asserts* equivalence, so CI fails on a checker divergence, never on
+  timing noise);
+* **sweep** — trials/sec of a 4-protocol sweep executed serially and with
+  ``parallel=True``, asserting byte-identical ``to_dict()`` output.
+
+The results land in ``BENCH_perf.json`` at the repository root (schema
+documented in ``benchmarks/README.md``).  Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--quick] [--output PATH]
+
+``--quick`` shrinks every meter to a smoke-test size for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import random
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Cluster, get_spec, sweep
+from repro.registers.base import RegisterSystem
+from repro.spec.history import History, OperationRecord
+from repro.spec.linearizability import is_linearizable, is_linearizable_reference
+from repro.types import ProcessId, fresh_operation_id, reader_id
+from repro.workloads.generator import WorkloadGenerator, apply_plan
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
+
+
+# --------------------------------------------------------------------- #
+# Simulator throughput
+# --------------------------------------------------------------------- #
+
+
+def bench_simulator(quick: bool) -> dict:
+    """Events/sec over seeded workloads on three registry protocols."""
+    operations = 40 if quick else 150
+    repetitions = 2 if quick else 6
+    protocols = ("abd", "fast-regular", "secret-token")
+    total_events = 0
+    started = time.perf_counter()
+    for repetition in range(repetitions):
+        for name in protocols:
+            spec = get_spec(name)
+            system = RegisterSystem(spec.build(n_readers=4), t=1, n_readers=4)
+            plans = WorkloadGenerator(
+                seed=repetition, n_readers=4, spacing=30
+            ).plan(operations)
+            apply_plan(system, plans)
+            total_events += system.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "protocols": list(protocols),
+        "operations_per_run": operations,
+        "repetitions": repetitions,
+        "events": total_events,
+        "seconds": round(elapsed, 4),
+        "events_per_sec": round(total_events / elapsed),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Checker throughput
+# --------------------------------------------------------------------- #
+
+
+def _op(kind, client, invoked, responded, value) -> OperationRecord:
+    return OperationRecord(
+        op_id=fresh_operation_id(client, kind), kind=kind, client=client,
+        invoked_at=invoked, invocation_step=invoked, value=value,
+        responded_at=responded, response_step=responded,
+    )
+
+
+def adversarial_history(seed: int, n_clients: int = 8, ops_per_client: int = 2,
+                        n_values: int = 3) -> History:
+    """An overlap-heavy multi-writer history that stresses the search.
+
+    Half the clients write values drawn from a small pool (duplicate write
+    values multiply the feasible frontiers), intervals are long so almost
+    everything is concurrent, and reads sample the same pool — the regime
+    where memoized frontier search dominates the checker's cost.
+    """
+    rng = random.Random(seed)
+    records = []
+    for index in range(n_clients):
+        is_writer = index < n_clients // 2
+        client = (
+            ProcessId("writer", index + 1) if is_writer else reader_id(index + 1)
+        )
+        clock = rng.randint(1, 4)
+        for _ in range(ops_per_client):
+            duration = rng.randint(8, 30)
+            value = f"v{rng.randint(1, n_values)}"
+            records.append(
+                _op("write" if is_writer else "read", client, clock,
+                    clock + duration, value)
+            )
+            clock += duration + rng.randint(1, 3)
+    return History(records)
+
+
+def bench_checker(quick: bool) -> dict:
+    """Bitmask vs reference checker on identical adversarial histories."""
+    count = 25 if quick else 120
+    histories = [adversarial_history(seed) for seed in range(count)]
+
+    started = time.perf_counter()
+    bitmask_verdicts = [is_linearizable(history) for history in histories]
+    bitmask_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reference_verdicts = [is_linearizable_reference(history) for history in histories]
+    reference_seconds = time.perf_counter() - started
+
+    # Equivalence gate: a divergence is a checker bug, fail loudly.
+    disagreements = [
+        index
+        for index, (new, old) in enumerate(zip(bitmask_verdicts, reference_verdicts))
+        if new != old
+    ]
+    assert not disagreements, (
+        f"bitmask checker disagrees with the frozenset reference on "
+        f"history seeds {disagreements}"
+    )
+
+    return {
+        "histories": count,
+        "operations_per_history": 16,
+        "linearizable_fraction": round(sum(bitmask_verdicts) / count, 3),
+        "bitmask_seconds": round(bitmask_seconds, 4),
+        "reference_seconds": round(reference_seconds, 4),
+        "bitmask_histories_per_sec": round(count / bitmask_seconds),
+        "reference_histories_per_sec": round(count / reference_seconds),
+        "speedup": round(reference_seconds / bitmask_seconds, 2),
+        "verdicts_equal": True,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Sweep engine: serial vs parallel
+# --------------------------------------------------------------------- #
+
+
+def bench_sweep(quick: bool, trials: int | None = None,
+                workers: int | None = None) -> dict:
+    """Trials/sec of a 4-protocol sweep, serial vs process-pool parallel."""
+    trials = trials if trials is not None else (25 if quick else 200)
+    kwargs = dict(
+        t=1,
+        n_readers=3,
+        scenarios=("fault-free",),
+        operations=12,
+        spacing=60,
+        trials=trials,
+        seed=11,
+        checks=("linearizability",),
+    )
+
+    started = time.perf_counter()
+    serial = sweep(SWEEP_PROTOCOLS, **kwargs)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = sweep(SWEEP_PROTOCOLS, parallel=True, max_workers=workers, **kwargs)
+    parallel_seconds = time.perf_counter() - started
+
+    serial_payload = json.dumps(serial.to_dict(), sort_keys=True)
+    parallel_payload = json.dumps(parallel.to_dict(), sort_keys=True)
+    # Contract gate: parallel execution must be invisible in the results.
+    assert serial_payload == parallel_payload, (
+        "parallel sweep produced different results than serial"
+    )
+
+    total_trials = trials * len(SWEEP_PROTOCOLS)
+    return {
+        "protocols": list(SWEEP_PROTOCOLS),
+        "trials_per_protocol": trials,
+        "total_trials": total_trials,
+        "workers": workers or os.cpu_count() or 1,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "serial_trials_per_sec": round(total_trials / serial_seconds, 1),
+        "parallel_trials_per_sec": round(total_trials / parallel_seconds, 1),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "identical_results": True,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+
+
+def run_benchmark(quick: bool = False, trials: int | None = None,
+                  workers: int | None = None) -> dict:
+    report = {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "simulator": bench_simulator(quick),
+        "checker": bench_checker(quick),
+        "sweep": bench_sweep(quick, trials=trials, workers=workers),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-test sizes (CI); full sizes otherwise")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override trials per protocol in the sweep meter")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for the parallel sweep")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_perf.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick, trials=args.trials, workers=args.workers)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                           encoding="utf-8")
+
+    simulator, checker, swept = report["simulator"], report["checker"], report["sweep"]
+    print(f"simulator : {simulator['events_per_sec']:>10,} events/sec "
+          f"({simulator['events']:,} events in {simulator['seconds']}s)")
+    print(f"checker   : {checker['bitmask_histories_per_sec']:>10,} histories/sec "
+          f"bitmask vs {checker['reference_histories_per_sec']:,} reference "
+          f"({checker['speedup']}x, verdicts equal)")
+    print(f"sweep     : {swept['serial_trials_per_sec']:>10,} trials/sec serial, "
+          f"{swept['parallel_trials_per_sec']:,} parallel "
+          f"({swept['speedup']}x on {swept['workers']} worker(s) / "
+          f"{report['cpu_count']} CPU(s), identical results)")
+    print(f"[saved to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,9 +10,13 @@ Commands:
 * ``recurrence`` [--max-k K]        — print the t_k table and the log bound.
 * ``list-protocols``                — the protocol registry: names, models,
                                       resilience classes, advertised rounds.
-* ``run`` --protocol NAME [--faults NAME] [--t T] [--trials N] … — build a
-  registry-driven experiment through the :class:`repro.api.Cluster` facade,
-  run it, print per-trial latencies and consistency-check verdicts.
+* ``run`` --protocol NAME [--faults NAME] [--t T] [--trials N]
+  [--parallel] [--jsonl PATH] … — build a registry-driven experiment
+  through the :class:`repro.api.Cluster` facade, run it (optionally on a
+  process pool), print per-trial latencies and consistency-check verdicts,
+  and optionally append the structured result as one JSON line.
+* ``compare`` A.jsonl B.jsonl — diff two stored result files and flag
+  round-count / latency / completion regressions (exit 1 when B regressed).
 
 Everything runs in seconds on a laptop; nothing touches the network.
 """
@@ -118,6 +122,8 @@ def _cmd_list_protocols(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     from repro.api import Cluster, get_spec
     from repro.errors import ConfigurationError
 
@@ -128,7 +134,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ConfigurationError("--count/--strict have no effect without --faults")
     cluster = cluster.with_workload(reads=args.reads, spacing=args.spacing, operations=args.ops)
     checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
-    result = cluster.check(*checks).run(trials=args.trials, seed=args.seed)
+    result = cluster.check(*checks).run(
+        trials=args.trials,
+        seed=args.seed,
+        keep_history=False,  # the CLI only reports aggregates and verdicts
+        parallel=args.parallel,
+        max_workers=args.workers,
+    )
+    if args.jsonl:
+        with open(args.jsonl, "a", encoding="utf-8") as sink:
+            sink.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+        print(f"[appended structured result to {args.jsonl}]")
     print(result.render())
     if not result.ok:
         for trial, verdict in result.failures():
@@ -137,6 +153,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{result.incomplete} operations did not complete")
         return 1
     print(f"\nall {len(result.trials)} trials complete; checks passed: {', '.join(checks)}")
+    return 0
+
+
+def _load_jsonl(path: str) -> dict[tuple, dict]:
+    """Index a ``run --jsonl`` file by (protocol, scenario, t, n_readers).
+
+    A later line for the same key supersedes earlier ones, so a file that
+    accumulates repeated runs compares at its latest state.
+    """
+    import json
+
+    from repro.errors import ConfigurationError
+
+    runs: dict[tuple, dict] = {}
+    with open(path, encoding="utf-8") as source:
+        for line_no, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(f"{path}:{line_no}: not valid JSON ({error})") from None
+            key = (record.get("protocol"), record.get("scenario"),
+                   record.get("t"), record.get("n_readers"))
+            runs[key] = record
+    return runs
+
+
+def _mean_rounds(record: dict, kind: str) -> float:
+    rounds = [r for trial in record.get("trials", []) for r in trial.get(f"{kind}_rounds", [])]
+    return sum(rounds) / len(rounds) if rounds else 0.0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Flag regressions of B relative to A: rounds, latency means, completion."""
+    baseline = _load_jsonl(args.baseline)
+    candidate = _load_jsonl(args.candidate)
+
+    regressions: list[str] = []
+    improvements: list[str] = []
+    shared = [key for key in baseline if key in candidate]
+    for key in shared:
+        a, b = baseline[key], candidate[key]
+        label = f"{key[0]} @ {key[1]} (t={key[2]}, {key[3]} readers)"
+        for metric in ("worst_write", "worst_read", "incomplete"):
+            old, new = a.get(metric, 0), b.get(metric, 0)
+            if new > old:
+                regressions.append(f"{label}: {metric} {old} -> {new}")
+            elif new < old:
+                improvements.append(f"{label}: {metric} {old} -> {new}")
+        for kind in ("write", "read"):
+            old, new = _mean_rounds(a, kind), _mean_rounds(b, kind)
+            if new > old * (1.0 + args.mean_tolerance) + 1e-9:
+                regressions.append(f"{label}: mean {kind} rounds {old:.2f} -> {new:.2f}")
+            elif new < old - 1e-9:
+                improvements.append(f"{label}: mean {kind} rounds {old:.2f} -> {new:.2f}")
+
+    print(f"compared {len(shared)} run(s) present in both files")
+    for key in baseline:
+        if key not in candidate:
+            print(f"  only in {args.baseline}: {key[0]} @ {key[1]}")
+    for key in candidate:
+        if key not in baseline:
+            print(f"  only in {args.candidate}: {key[0]} @ {key[1]}")
+    if improvements:
+        print("improvements:")
+        for line in improvements:
+            print(f"  {line}")
+    if regressions:
+        print("REGRESSIONS:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("no regressions detected")
     return 0
 
 
@@ -201,6 +292,20 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--spacing", type=int, default=50, help="mean gap between invocations")
     run.add_argument("--check", action="append", default=None,
                      help="consistency check to run (repeatable; default: the protocol's own)")
+    run.add_argument("--parallel", action="store_true",
+                     help="execute trials on a process pool (identical results)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size with --parallel (default: one per CPU)")
+    run.add_argument("--jsonl", default=None, metavar="PATH",
+                     help="append the structured RunResult as one JSON line to PATH")
+
+    compare = sub.add_parser(
+        "compare", help="diff two run --jsonl files and flag regressions"
+    )
+    compare.add_argument("baseline", help="baseline .jsonl (the reference)")
+    compare.add_argument("candidate", help="candidate .jsonl (flagged when worse)")
+    compare.add_argument("--mean-tolerance", type=float, default=0.0,
+                         help="relative slack on mean-round regressions (e.g. 0.05)")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -211,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
         "recurrence": _cmd_recurrence,
         "list-protocols": _cmd_list_protocols,
         "run": _cmd_run,
+        "compare": _cmd_compare,
     }
     try:
         return handlers[args.command](args)

@@ -12,7 +12,11 @@ experiment needs, addressable as data:
   ``flaky``).
 * :mod:`repro.api.cluster` — the declarative :class:`Cluster` builder and
   the structured :class:`RunResult` / :class:`SweepResult` it produces,
-  plus :func:`sweep` for protocol × scenario grids.
+  plus :func:`sweep` for protocol × scenario grids.  Trials compile to
+  picklable :class:`TrialSpec` values executed by the pure
+  :func:`run_trial` function, so ``Cluster.run(..., parallel=True)`` and
+  ``sweep(..., parallel=True)`` fan trials over a process pool with
+  results byte-identical to serial execution.
 
 Quickstart::
 
@@ -51,7 +55,9 @@ from repro.api.cluster import (
     RunResult,
     SweepResult,
     TrialResult,
+    TrialSpec,
     available_checks,
+    run_trial,
     sweep,
 )
 
@@ -75,8 +81,10 @@ __all__ = [
     "CheckVerdict",
     "FaultInventory",
     "TrialResult",
+    "TrialSpec",
     "RunResult",
     "SweepResult",
     "available_checks",
+    "run_trial",
     "sweep",
 ]

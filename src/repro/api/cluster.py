@@ -24,14 +24,30 @@ checkers on the recorded history, and returns a structured
 :class:`RunResult` — per-trial latencies, round counts, check verdicts and
 the materialized fault inventory.
 
+Execution is factored through a picklable :class:`TrialSpec` and the pure
+module-level :func:`run_trial` function, so trials can run either in-process
+or on a :class:`concurrent.futures.ProcessPoolExecutor`: pass
+``parallel=True`` (and optionally ``max_workers=``) to :meth:`Cluster.run`
+or :func:`sweep`.  Both paths execute the *same* ``run_trial`` code on the
+same specs, so for identical seeds the serial and parallel results are
+byte-identical under :meth:`RunResult.to_dict` — configurations that cannot
+cross a process boundary (explicit schedules closing over live objects,
+protocols not resolvable through the registry) fall back to serial with a
+:class:`RuntimeWarning`.
+
 :func:`sweep` fans a protocol × scenario grid into a :class:`SweepResult`
-(the shape the latency-matrix benchmark renders).
+(the shape the latency-matrix benchmark renders); with ``parallel=True`` the
+whole grid's trials are flattened into one process pool.
 """
 
 from __future__ import annotations
 
 import copy
+import pickle
 import statistics
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -46,7 +62,8 @@ from repro.spec.history import History
 from repro.spec.linearizability import is_linearizable
 from repro.spec.regularity import check_swmr_regularity
 from repro.spec.safety import check_swmr_safety
-from repro.types import ProcessId, object_id, reader_ids
+from repro.sim.process import FaultBehavior
+from repro.types import ProcessId, object_id, reader_ids, scoped_operation_serials
 from repro.workloads.generator import OperationPlan, WorkloadGenerator
 from repro.workloads.scenarios import Scenario, get_scenario
 
@@ -334,6 +351,197 @@ class _FaultGroup:
     kwargs: tuple[tuple[str, Any], ...]
 
 
+# --------------------------------------------------------------------- #
+# Trial execution engine
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class TrialSpec:
+    """Everything one trial needs, as plain data.
+
+    A spec is the picklable boundary between configuration and execution:
+    :meth:`Cluster.run` compiles one spec per trial and hands them to
+    :func:`run_trial` — in-process for serial runs, on a process pool for
+    ``parallel=True``.  Protocols and scenarios are referenced by *registry
+    name* (live objects don't cross process boundaries); fault groups,
+    workload shape, and explicit schedules are carried verbatim.
+
+    ``workload_seed`` is the seed the generator actually uses for this trial
+    (``seed + trial``); ``recorded_seed`` is what lands in
+    :attr:`TrialResult.seed` (None for explicit schedules, which replay the
+    same plan every trial).
+    """
+
+    protocol: str
+    protocol_kwargs: tuple[tuple[str, Any], ...]
+    t: int
+    S: int | None
+    n_readers: int
+    allow_overfault: bool
+    scenario: str | None
+    scenario_label: str
+    fault_groups: tuple[_FaultGroup, ...]
+    read_fraction: float
+    spacing: int
+    operations: int
+    explicit_plans: tuple[OperationPlan, ...] | None
+    checks: tuple[str, ...]
+    trial: int
+    workload_seed: int
+    recorded_seed: int | None
+    keep_history: bool
+
+    def plans(self) -> list[OperationPlan]:
+        """The operation schedule this trial replays."""
+        if self.explicit_plans is not None:
+            return list(self.explicit_plans)
+        generator = WorkloadGenerator(
+            seed=self.workload_seed,
+            n_readers=self.n_readers,
+            read_fraction=self.read_fraction,
+            spacing=self.spacing,
+        )
+        return generator.plan(self.operations)
+
+
+def _materialize_behaviors(
+    scenario: str | None,
+    fault_groups: tuple[_FaultGroup, ...],
+    t: int,
+    allow_overfault: bool,
+) -> dict[ProcessId, FaultBehavior]:
+    """Fresh fault behaviours for one trial (behaviours are stateful)."""
+    if scenario is not None:
+        return dict(get_scenario(scenario, t).fault_plan.behaviors(t))
+    requested = sum(group.count for group in fault_groups)
+    budget = requested if allow_overfault else t
+    if requested > budget and any(g.strict for g in fault_groups):
+        raise ConfigurationError(
+            f"strict fault plan requests {requested} faulty objects "
+            f"but the threshold is t={t}"
+        )
+    behaviors: dict[ProcessId, FaultBehavior] = {}
+    index = 1
+    remaining = min(requested, budget)
+    for group in fault_groups:
+        spec = fault_spec(group.fault)
+        for _ in range(min(group.count, remaining)):
+            behaviors[object_id(index)] = spec.build(**dict(group.kwargs))
+            index += 1
+        remaining -= min(group.count, remaining)
+    return behaviors
+
+
+def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult:
+    """Execute one trial against an already-resolved protocol spec."""
+    # Operation serials restart at 1 inside the scope, so the recorded
+    # history — including the operation ids surfaced in check explanations —
+    # is a pure function of the spec, identical in-process and on a worker;
+    # on exit the outer count resumes past its watermark, so any system live
+    # outside the trial keeps allocating fresh ids.
+    with scoped_operation_serials():
+        behaviors = _materialize_behaviors(
+            spec.scenario, spec.fault_groups, spec.t, spec.allow_overfault
+        )
+        protocol = protocol_spec.build(
+            n_readers=spec.n_readers, **dict(spec.protocol_kwargs)
+        )
+        system = RegisterSystem(
+            protocol,
+            t=spec.t,
+            S=spec.S,
+            n_readers=spec.n_readers,
+            behaviors=behaviors,
+            allow_overfault=spec.allow_overfault,
+        )
+        report = measure_latency(system, spec.plans(), scenario=spec.scenario_label)
+        history = system.history()
+        verdicts = {name: CHECKS[name](history) for name in spec.checks}
+        return TrialResult(
+            trial=spec.trial,
+            seed=spec.recorded_seed,
+            write_rounds=list(report.write_rounds),
+            read_rounds=list(report.read_rounds),
+            incomplete=report.incomplete,
+            checks=verdicts,
+            history=history if spec.keep_history else None,
+        )
+
+
+def run_trial(spec: TrialSpec) -> TrialResult:
+    """Execute one trial described by ``spec`` and return its result.
+
+    Pure with respect to the spec: same spec ⇒ same result, whether called
+    in-process or by a pool worker.  The protocol is resolved through the
+    registry, so the function itself is picklable by reference.
+    """
+    return _run_trial_with(spec, get_spec(spec.protocol))
+
+
+def _parallel_obstacle(specs: Sequence[TrialSpec], protocol_spec: ProtocolSpec) -> str | None:
+    """Why ``specs`` cannot run on a process pool, or None if they can."""
+    if get_spec(specs[0].protocol) is not protocol_spec:
+        return (
+            f"protocol {specs[0].protocol!r} does not resolve to this spec "
+            "through the registry"
+        )
+    try:
+        pickle.dumps(tuple(specs))
+    except Exception as error:  # noqa: BLE001 — any pickling failure disqualifies
+        return f"trial specs are not picklable ({error})"
+    return None
+
+
+def _pool_map(specs: Sequence[TrialSpec], max_workers: int | None) -> list[TrialResult] | None:
+    """Run ``run_trial`` over ``specs`` on a process pool, preserving order.
+
+    Returns ``None`` (after a :class:`RuntimeWarning`) when the pool cannot
+    do the job, so the caller reruns serially.  Two known causes, both
+    specific to the ``spawn``/``forkserver`` start methods: a worker's
+    freshly imported registry lacks protocols/scenarios that were only
+    registered at runtime in this process (a :class:`ConfigurationError`
+    the parent already ruled out during :meth:`Cluster._prepare_run`), and
+    a ``__main__`` that cannot be re-imported at all (interactive sessions
+    — :class:`BrokenProcessPool`).
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            chunksize = max(1, len(specs) // (pool._max_workers * 4))
+            return list(pool.map(run_trial, specs, chunksize=chunksize))
+    except (ConfigurationError, BrokenProcessPool) as error:
+        warnings.warn(
+            f"parallel workers could not run the trials ({error}); "
+            "rerunning serially — register custom protocols/scenarios at "
+            "import time (and run from an importable script) to use a pool",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return None
+
+
+def _execute_trials(
+    specs: Sequence[TrialSpec],
+    protocol_spec: ProtocolSpec,
+    parallel: bool,
+    max_workers: int | None,
+) -> list[TrialResult]:
+    """Run every spec, in-process or on a process pool, preserving order."""
+    if parallel and len(specs) > 1:
+        obstacle = _parallel_obstacle(specs, protocol_spec)
+        if obstacle is None:
+            results = _pool_map(specs, max_workers)
+            if results is not None:
+                return results
+        else:
+            warnings.warn(
+                f"parallel execution unavailable, falling back to serial: {obstacle}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return [_run_trial_with(spec, protocol_spec) for spec in specs]
+
+
 class Cluster:
     """Fluent experiment builder over a registered protocol name.
 
@@ -485,27 +693,17 @@ class Cluster:
     # ------------------------------------------------------------------ #
 
     def _materialize_faults(self) -> tuple[dict[ProcessId, Any], FaultInventory]:
+        behaviors = _materialize_behaviors(
+            self._scenario.name if self._scenario is not None else None,
+            self._fault_groups,
+            self._t,
+            self._allow_overfault,
+        )
         if self._scenario is not None:
             plan = self._scenario.fault_plan
-            behaviors = dict(plan.behaviors(self._t))
             requested = plan.count if plan.maker is not None else 0
         else:
             requested = sum(group.count for group in self._fault_groups)
-            budget = requested if self._allow_overfault else self._t
-            if requested > budget and any(g.strict for g in self._fault_groups):
-                raise ConfigurationError(
-                    f"strict fault plan requests {requested} faulty objects "
-                    f"but the threshold is t={self._t}"
-                )
-            behaviors = {}
-            index = 1
-            remaining = min(requested, budget)
-            for group in self._fault_groups:
-                spec = fault_spec(group.fault)
-                for _ in range(min(group.count, remaining)):
-                    behaviors[object_id(index)] = spec.build(**dict(group.kwargs))
-                    index += 1
-                remaining -= min(group.count, remaining)
         inventory = FaultInventory(
             requested=requested,
             effective=len(behaviors),
@@ -547,7 +745,74 @@ class Cluster:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def run(self, trials: int = 1, seed: int = 0, keep_history: bool = True) -> RunResult:
+    def _trial_specs(self, trials: int, seed: int, keep_history: bool) -> list[TrialSpec]:
+        """Compile one picklable :class:`TrialSpec` per trial."""
+        explicit = self._explicit_plans is not None
+        label = self._scenario_label()
+        return [
+            TrialSpec(
+                protocol=self._spec.name,
+                protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
+                t=self._t,
+                S=self._S,
+                n_readers=self._n_readers,
+                allow_overfault=self._allow_overfault,
+                scenario=self._scenario.name if self._scenario is not None else None,
+                scenario_label=label,
+                fault_groups=self._fault_groups,
+                read_fraction=self._read_fraction,
+                spacing=self._spacing,
+                operations=self._operations,
+                explicit_plans=self._explicit_plans,
+                checks=self._checks,
+                trial=index,
+                workload_seed=seed + index,
+                recorded_seed=None if explicit else seed + index,
+                keep_history=keep_history,
+            )
+            for index in range(trials)
+        ]
+
+    def _prepare_run(
+        self, trials: int, seed: int, keep_history: bool
+    ) -> tuple[RunResult, list[TrialSpec]]:
+        """Validate the configuration and build the result shell + specs.
+
+        Configuration errors (bad sizes, strict over-faulting) surface here,
+        in the calling process, before any worker pool spins up — so serial
+        and parallel runs fail identically.
+        """
+        if trials < 1:
+            raise ConfigurationError("need at least one trial")
+        behaviors, inventory = self._materialize_faults()
+        probe = RegisterSystem(
+            self._spec.build(n_readers=self._n_readers, **self._protocol_kwargs),
+            t=self._t,
+            S=self._S,
+            n_readers=self._n_readers,
+            behaviors=behaviors,
+            allow_overfault=self._allow_overfault,
+        )
+        result = RunResult(
+            protocol=self._spec.name,
+            semantics=self._spec.semantics,
+            t=self._t,
+            S=probe.ctx.S,
+            n_readers=self._n_readers,
+            scenario=self._scenario_label(),
+            faults=inventory,
+            checks=self._checks,
+        )
+        return result, self._trial_specs(trials, seed, keep_history)
+
+    def run(
+        self,
+        trials: int = 1,
+        seed: int = 0,
+        keep_history: bool = True,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> RunResult:
         """Run ``trials`` independent executions and collect the results.
 
         Trial ``i`` uses workload seed ``seed + i`` (explicit schedules are
@@ -555,50 +820,20 @@ class Cluster:
         raised — inspect :attr:`RunResult.ok` / :meth:`RunResult.failures`.
         ``keep_history=False`` drops each trial's recorded history after
         the checks run (large sweeps don't need the live object graphs).
+
+        ``parallel=True`` fans the trials over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with ``max_workers``
+        processes (default: one per CPU).  Serial and parallel execution run
+        the same :func:`run_trial` function on the same specs, so for
+        identical seeds :meth:`RunResult.to_dict` is byte-identical either
+        way; specs that cannot cross a process boundary (e.g. explicit
+        schedules closing over live objects) fall back to serial with a
+        :class:`RuntimeWarning`.
         """
-        if trials < 1:
-            raise ConfigurationError("need at least one trial")
-        result: RunResult | None = None
-        for index in range(trials):
-            protocol = self._spec.build(n_readers=self._n_readers, **self._protocol_kwargs)
-            behaviors, inventory = self._materialize_faults()
-            system = RegisterSystem(
-                protocol,
-                t=self._t,
-                S=self._S,
-                n_readers=self._n_readers,
-                behaviors=behaviors,
-                allow_overfault=self._allow_overfault,
-            )
-            trial_seed = None if self._explicit_plans is not None else seed + index
-            report = measure_latency(
-                system, self._plans(seed + index), scenario=self._scenario_label()
-            )
-            history = system.history()
-            verdicts = {name: CHECKS[name](history) for name in self._checks}
-            if result is None:
-                result = RunResult(
-                    protocol=self._spec.name,
-                    semantics=self._spec.semantics,
-                    t=self._t,
-                    S=system.ctx.S,
-                    n_readers=self._n_readers,
-                    scenario=self._scenario_label(),
-                    faults=inventory,
-                    checks=self._checks,
-                )
-            result.trials.append(
-                TrialResult(
-                    trial=index,
-                    seed=trial_seed,
-                    write_rounds=list(report.write_rounds),
-                    read_rounds=list(report.read_rounds),
-                    incomplete=report.incomplete,
-                    checks=verdicts,
-                    history=history if keep_history else None,
-                )
-            )
-        assert result is not None
+        result, specs = self._prepare_run(trials, seed, keep_history)
+        result.trials.extend(
+            _execute_trials(specs, self._spec, parallel=parallel, max_workers=max_workers)
+        )
         return result
 
 
@@ -618,14 +853,22 @@ def sweep(
     trials: int = 1,
     seed: int = 17,
     checks: Sequence[str] = (),
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Run every protocol under every scenario its guarantees cover.
 
     ``protocols`` defaults to the whole registry; ``scenarios`` defaults to
     each protocol's own advertised coverage (its ``scenarios`` metadata).
     The same seed is used for every grid cell so rows are comparable.
+
+    With ``parallel=True`` the *entire grid's* trials — every protocol ×
+    scenario × trial — are flattened into one process pool, so small cells
+    don't leave workers idle.  Results are reassembled in grid order and are
+    byte-identical to a serial sweep with the same seed.
     """
     result = SweepResult()
+    cells: list[tuple[RunResult, list[TrialSpec]]] = []
     for name in protocols if protocols is not None else available_protocols():
         spec = get_spec(name)
         for scenario_name in scenarios if scenarios is not None else spec.scenarios:
@@ -635,5 +878,20 @@ def sweep(
                 .with_workload(spacing=spacing, operations=operations)
                 .check(*checks)
             )
-            result.runs.append(cluster.run(trials=trials, seed=seed, keep_history=False))
+            cells.append(cluster._prepare_run(trials, seed, keep_history=False))
+    flat = [spec for _, specs in cells for spec in specs]
+    executed = None
+    if parallel and len(flat) > 1:
+        # Sweep specs reference protocols/scenarios by registry name and
+        # carry no explicit plans, so they are always picklable; run the
+        # whole grid through one executor (falling back to serial if the
+        # workers' registries lack runtime registrations).
+        executed = _pool_map(flat, max_workers)
+    if executed is None:
+        executed = [run_trial(spec) for spec in flat]
+    cursor = 0
+    for run_result, specs in cells:
+        run_result.trials.extend(executed[cursor:cursor + len(specs)])
+        result.runs.append(run_result)
+        cursor += len(specs)
     return result

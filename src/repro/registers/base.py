@@ -181,9 +181,12 @@ class RegisterSystem:
         generator = self.protocol.read_generator(self.ctx, reader)
         return self.simulator.invoke(reader, "read", generator, at=at)
 
-    def run(self) -> None:
-        """Run the simulation to its quiescent fixed point."""
-        self.simulator.run()
+    def run(self) -> int:
+        """Run the simulation to its quiescent fixed point.
+
+        Returns the number of simulator events executed.
+        """
+        return self.simulator.run()
 
     # ------------------------------------------------------------------ #
     # Inspection

@@ -11,7 +11,8 @@ message is "in transit" at the end of a partial run).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import ChannelError
@@ -184,18 +185,20 @@ class Network:
         return released
 
     def _schedule_delivery(self, message: Message, delay: int) -> None:
+        # Hot path: one call per message on the wire.  Locals, a single
+        # ``now`` read, and ``partial`` instead of a lambda keep the
+        # per-message overhead minimal (labels were dropped entirely —
+        # rendering one cost more than scheduling the delivery).
+        now = self._queue.now
         channel = (message.src, message.dst)
-        deliver_at = self._queue.now + max(1, delay)
+        deliver_at = now + delay if delay > 1 else now + 1
         watermark = self._fifo_watermark.get(channel, 0)
-        deliver_at = max(deliver_at, watermark)  # never overtake an earlier message
+        if deliver_at < watermark:  # never overtake an earlier message
+            deliver_at = watermark
         self._fifo_watermark[channel] = deliver_at
         round_key = (message.op, message.round_no)
         self._inflight[round_key] = self._inflight.get(round_key, 0) + 1
-        self._queue.schedule(
-            deliver_at - self._queue.now,
-            lambda m=message: self._deliver(m),
-            label=f"deliver {message}",
-        )
+        self._queue.schedule(deliver_at - now, partial(self._deliver, message))
 
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)

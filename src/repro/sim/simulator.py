@@ -100,6 +100,9 @@ class Simulator:
         self._by_op: dict[OperationId, ClientOperation] = {}
         self._attached_clients: set[ProcessId] = set()
         self._busy_clients: set[ProcessId] = set()
+        # The object population is fixed at construction; cache the sorted
+        # view once instead of re-sorting on every broadcast.
+        self._object_ids: tuple[ProcessId, ...] = tuple(sorted(self.objects))
 
     # ------------------------------------------------------------------ #
     # Invocation and progress
@@ -108,7 +111,7 @@ class Simulator:
     @property
     def object_ids(self) -> tuple[ProcessId, ...]:
         """All object identifiers in deterministic order."""
-        return tuple(sorted(self.objects))
+        return self._object_ids
 
     @property
     def now(self) -> int:
@@ -158,7 +161,7 @@ class Simulator:
                 )
             self._advance(operation, first=True)
 
-        self.queue.schedule(at, start, label=f"invoke {op_id}")
+        self.queue.schedule(at, start)
         return operation
 
     def abort(self, operation: ClientOperation) -> None:
@@ -169,12 +172,17 @@ class Simulator:
             self.network.detach(operation.client)
             self._attached_clients.discard(operation.client)
 
-    def run(self, max_events: int | None = 1_000_000) -> None:
-        """Drain events, resolving quiescence, until a global fixed point."""
+    def run(self, max_events: int | None = 1_000_000) -> int:
+        """Drain events, resolving quiescence, until a global fixed point.
+
+        Returns the total number of events executed (the throughput metric
+        the performance benchmark tracks as events/sec).
+        """
+        executed = 0
         while True:
-            self.queue.run_all(max_events=max_events)
+            executed += self.queue.run_all(max_events=max_events)
             if not self._resolve_quiescence():
-                return
+                return executed
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -209,10 +217,15 @@ class Simulator:
         return None
 
     def _finish_round(self, operation: ClientOperation, record: RoundRecord, quiesced: bool) -> None:
+        # The outcome takes ownership of ``record.replies`` instead of
+        # copying it: a round is terminated exactly once, and late replies
+        # are filtered out before the dict is touched (_on_client_message
+        # returns early on ``record.terminated``), so the reply set can
+        # never change after this point.
         record.terminated = True
         outcome = RoundOutcome(
             round_no=record.round_no,
-            replies=dict(record.replies),
+            replies=record.replies,
             quiesced=quiesced,
             terminated_at=self.queue.now,
         )

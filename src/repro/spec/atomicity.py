@@ -23,6 +23,7 @@ failure of every assignment, and the verdict pinpoints which clause broke.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -62,10 +63,45 @@ def check_swmr_atomicity(history: History) -> AtomicityVerdict:
     writes = history.writes()
     reads = sorted(history.reads(complete_only=True), key=_linear_extension_key)
 
+    # The single writer is sequential, so write invocation steps are strictly
+    # increasing and the complete writes form a prefix with strictly
+    # increasing response steps.  Both precedence scans below ("which writes
+    # precede this read", "which writes does this read precede") therefore
+    # reduce to binary searches over these two arrays instead of O(R·W)
+    # pairwise ``precedes`` calls.
+    write_invocations = [w.invocation_step for w in writes]
+    write_responses = [w.response_step for w in writes if w.complete]
+
+    # value → ascending write indices, so the candidate scan is O(1) per
+    # read.  Falls back to a linear scan when a value is unhashable.  The
+    # index is only a *prefilter*: candidacy itself stays defined by ``==``
+    # (below), because dict lookup takes an identity shortcut that ``==``
+    # does not (NaN is the classic case) and the other spec checkers
+    # compare with ``==``.
+    try:
+        by_value: dict[Any, list[int]] | None = {}
+        for k, val in enumerate(values):
+            by_value.setdefault(val, []).append(k)
+    except TypeError:
+        by_value = None
+
     assigned: dict[Any, int] = {}
+    # Reads are processed in response-step order (a linear extension), so
+    # "the largest index assigned to a preceding read" is a prefix-maximum
+    # query over the response steps processed so far.
+    done_responses: list[int] = []
+    done_prefix_max: list[int] = []
 
     for read in reads:
-        candidates = [k for k, val in enumerate(values) if val == read.value]
+        prefiltered: Any = None
+        if by_value is not None:
+            try:
+                prefiltered = by_value.get(read.value, [])
+            except TypeError:
+                prefiltered = None  # unhashable read value: scan everything
+        if prefiltered is None:
+            prefiltered = range(len(values))
+        candidates = [k for k in prefiltered if values[k] == read.value]
         if not candidates:
             return AtomicityVerdict(
                 ok=False,
@@ -77,28 +113,35 @@ def check_swmr_atomicity(history: History) -> AtomicityVerdict:
                 ),
             )
 
-        write_floor = 0  # property 2: last complete write preceding the read
-        for k, write in enumerate(writes, start=1):
-            if write.precedes(read):
-                write_floor = max(write_floor, k)
+        # Property 2: ``wr_k precedes rd`` iff ``wr_k`` is complete and its
+        # response step is below the read's invocation step — a prefix of
+        # ``write_responses``.
+        write_floor = bisect_left(write_responses, read.invocation_step)
 
         # Property 3: wr_k must precede rd or be concurrent with it, i.e.
-        # ¬(rd precedes wr_k).  Using the precedence predicate keeps the
-        # checker consistent with Wing–Gong at tied step numbers.
-        ceiling = 0
-        for k, write in enumerate(writes, start=1):
-            if not read.precedes(write):
-                ceiling = max(ceiling, k)
+        # ¬(rd precedes wr_k) ⇔ ``wr_k`` was invoked at or before the read's
+        # response step — a prefix of ``write_invocations``.  Using the same
+        # strict/non-strict step comparisons as the precedence predicate
+        # keeps the checker consistent with Wing–Gong at tied step numbers.
+        ceiling = bisect_right(write_invocations, read.response_step)
 
-        read_floor = 0  # property 4: indices of reads that precede this one
-        for other_read in reads:
-            if other_read.op_id in assigned and other_read.precedes(read):
-                read_floor = max(read_floor, assigned[other_read.op_id])
+        # Property 4: reads preceding this one are exactly the processed
+        # reads whose response step is below this invocation step.
+        read_floor = 0
+        position = bisect_left(done_responses, read.invocation_step)
+        if position:
+            read_floor = done_prefix_max[position - 1]
 
-        feasible = [k for k in candidates if k >= max(write_floor, read_floor) and k <= ceiling]
-        if feasible:
-            choice = min(feasible)
+        floor = write_floor if write_floor >= read_floor else read_floor
+        at = bisect_left(candidates, floor)
+        if at < len(candidates) and candidates[at] <= ceiling:
+            choice = candidates[at]  # smallest feasible index (greedy-minimal)
             assigned[read.op_id] = choice
+            done_responses.append(read.response_step)
+            done_prefix_max.append(
+                choice if not done_prefix_max or choice > done_prefix_max[-1]
+                else done_prefix_max[-1]
+            )
             continue
 
         # Diagnose which clause failed, most specific first.

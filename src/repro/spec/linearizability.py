@@ -8,24 +8,136 @@ none).  Exponential in the worst case — meant for the small histories that
 tests and the MWMR transformation produce — with memoization on explored
 frontiers, which keeps realistic test histories fast.
 
+The search runs on **integer bitmask frontiers**: the set of already-placed
+operations is one ``int``, each operation's predecessors are a precomputed
+mask, and "all predecessors placed" is ``pred_mask & ~done == 0``.  Memo
+keys are ``(done, current)`` pairs of an int and a value — hashing an int is
+an order of magnitude cheaper than hashing the ``frozenset`` frontiers the
+first implementation used.  :func:`is_linearizable` and
+:func:`linearization_witness` share one search core; the witness is
+accumulated with append/pop backtracking instead of quadratic list copies.
+
 Incomplete operations are handled per the standard definition: an incomplete
 write may be taken to have happened (placed in the order) or not (dropped);
 an incomplete read can always be dropped.
+
+:func:`is_linearizable_reference` preserves the original frozenset-frontier
+implementation verbatim as a differential-testing oracle: the property tests
+and ``benchmarks/bench_perf.py`` pin the bitmask core to it on randomized
+histories.
 """
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable
+from typing import Any, FrozenSet
 
 from repro.spec.history import History, OperationRecord
 from repro.types import BOTTOM
 
 
-def is_linearizable(history: History) -> bool:
-    """Whether ``history`` is linearizable as a read/write register."""
+def _candidate_operations(history: History) -> list[OperationRecord]:
+    """The operations the search places: complete ops plus pending writes.
+
+    Pending reads can always be dropped from a linearization, so they never
+    enter the search at all.
+    """
     complete = [r for r in history.records if r.complete]
     pending_writes = [r for r in history.records if not r.complete and r.kind == "write"]
-    operations = complete + pending_writes  # pending reads can always be dropped
+    return complete + pending_writes
+
+
+def _search(operations: list[OperationRecord]) -> list[int] | None:
+    """Shared search core: a linearization as operation indices, or None.
+
+    Dropped pending writes ("never took effect") are omitted from the
+    returned order, matching the definition — a dropped write appears in no
+    linearization.
+    """
+    total = len(operations)
+    full = (1 << total) - 1
+
+    pred_masks = [0] * total
+    for j, b in enumerate(operations):
+        mask = 0
+        for i, a in enumerate(operations):
+            if i != j and a.precedes(b):
+                mask |= 1 << i
+        pred_masks[j] = mask
+
+    # One flat tuple per operation so the search touches a single list:
+    # (index, bit, predecessor mask, is-write, value).
+    items = [
+        (i, 1 << i, pred_masks[i], record.kind == "write", record.value)
+        for i, record in enumerate(operations)
+    ]
+    # Pending writes may be dropped ("never took effect") instead of placed.
+    optional = [entry for entry, record in zip(items, operations) if not record.complete]
+    seen: set[tuple[int, Any]] = set()
+    order: list[int] = []
+
+    def explore(done: int, current: Any) -> bool:
+        if done == full:
+            return True
+        key = (done, current)
+        if key in seen:
+            return False
+        seen.add(key)
+        not_done = ~done
+        for i, bit, preds, is_write, value in items:
+            if done & bit or preds & not_done:
+                continue
+            if is_write:
+                order.append(i)
+                if explore(done | bit, value):
+                    return True
+                order.pop()
+            elif value == current:
+                order.append(i)
+                if explore(done | bit, current):
+                    return True
+                order.pop()
+        # An incomplete write whose predecessors are all done may also be
+        # dropped: model "never took effect" by marking it done without
+        # changing the current value (and without a place in the order).
+        for _i, bit, preds, _is_write, _value in optional:
+            if done & bit or preds & not_done:
+                continue
+            if explore(done | bit, current):
+                return True
+        return False
+
+    if explore(0, BOTTOM):
+        return order
+    return None
+
+
+def is_linearizable(history: History) -> bool:
+    """Whether ``history`` is linearizable as a read/write register."""
+    return _search(_candidate_operations(history)) is not None
+
+
+def linearization_witness(history: History) -> list[OperationRecord] | None:
+    """A concrete linearization order, or None when none exists.
+
+    Same search as :func:`is_linearizable` (literally the same core); used
+    by tests and by certificate rendering.
+    """
+    operations = _candidate_operations(history)
+    indices = _search(operations)
+    if indices is None:
+        return None
+    return [operations[i] for i in indices]
+
+
+def is_linearizable_reference(history: History) -> bool:
+    """The original frozenset-frontier checker, kept as a test oracle.
+
+    Algorithmically identical to :func:`is_linearizable` but memoizes on
+    ``frozenset`` frontiers; property tests cross-validate the bitmask core
+    against it on randomized histories, and the performance benchmark
+    measures the speedup while asserting verdict equality.
+    """
+    operations = _candidate_operations(history)
     order_index = {record.op_id: i for i, record in enumerate(operations)}
 
     precedes: list[set[int]] = [set() for _ in operations]
@@ -34,7 +146,7 @@ def is_linearizable(history: History) -> bool:
             if i != j and a.precedes(b):
                 precedes[j].add(i)
 
-    optional = {order_index[r.op_id] for r in pending_writes}
+    optional = {order_index[r.op_id] for r in operations if not r.complete}
     total = len(operations)
     seen: set[tuple[FrozenSet[int], Any]] = set()
 
@@ -54,66 +166,11 @@ def is_linearizable(history: History) -> bool:
             else:
                 if record.value == current and explore(done | {i}, current):
                     return True
-        # An incomplete write whose predecessors are all done may also be
-        # dropped: model "never took effect" by marking it done without
-        # changing the current value.
         for i in optional:
             if i in done or not precedes[i] <= done:
                 continue
-            # Dropping is only sound if nothing later observes it, which the
-            # search enforces naturally since the value is not installed.
             if explore(done | {i}, current):
                 return True
         return False
 
     return explore(frozenset(), BOTTOM)
-
-
-def linearization_witness(history: History) -> list[OperationRecord] | None:
-    """A concrete linearization order, or None when none exists.
-
-    Same search as :func:`is_linearizable` but materializes the order; used
-    by tests and by certificate rendering.
-    """
-    complete = [r for r in history.records if r.complete]
-    pending_writes = [r for r in history.records if not r.complete and r.kind == "write"]
-    operations = complete + pending_writes
-    precedes: list[set[int]] = [set() for _ in operations]
-    for i, a in enumerate(operations):
-        for j, b in enumerate(operations):
-            if i != j and a.precedes(b):
-                precedes[j].add(i)
-    optional = {i for i, r in enumerate(operations) if not r.complete}
-    total = len(operations)
-    seen: set[tuple[FrozenSet[int], Any]] = set()
-
-    def explore(done: frozenset[int], current: Any, acc: list[int]) -> list[int] | None:
-        if len(done) == total:
-            return acc
-        key = (done, current)
-        if key in seen:
-            return None
-        seen.add(key)
-        for i, record in enumerate(operations):
-            if i in done or not precedes[i] <= done:
-                continue
-            if record.kind == "write":
-                found = explore(done | {i}, record.value, acc + [i])
-                if found is not None:
-                    return found
-            elif record.value == current:
-                found = explore(done | {i}, current, acc + [i])
-                if found is not None:
-                    return found
-        for i in optional:
-            if i in done or not precedes[i] <= done:
-                continue
-            found = explore(done | {i}, current, acc)
-            if found is not None:
-                return found
-        return None
-
-    indices = explore(frozenset(), BOTTOM, [])
-    if indices is None:
-        return None
-    return [operations[i] for i in indices]

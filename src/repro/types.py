@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 #: The register's initial value.  Per the paper it is a reserved symbol that
 #: no write operation may store.
@@ -147,3 +148,33 @@ def fresh_operation_id(client: ProcessId, kind: str) -> OperationId:
     if kind not in ("read", "write"):
         raise ValueError(f"operation kind must be 'read' or 'write', got {kind!r}")
     return OperationId(client=client, kind=kind)
+
+
+def reset_operation_serials(start: int = 1) -> None:
+    """Restart the operation-serial counter at ``start``.
+
+    Serials only need to be unique *within* one simulator instance; the
+    process-global counter exists purely for convenience.
+    """
+    global _op_counter
+    _op_counter = itertools.count(start)
+
+
+@contextmanager
+def scoped_operation_serials() -> Iterator[None]:
+    """Run a block with serials starting at 1, then resume the outer count.
+
+    Trial executors (:func:`repro.api.cluster.run_trial`) wrap each trial in
+    this scope so a trial's history — including the operation ids surfaced
+    in check explanations — is a pure function of its spec, byte-identical
+    whether the trial runs in this process or in a worker.  On exit the
+    counter resumes *past* its pre-scope watermark, so systems that were
+    live before the scope keep allocating fresh serials (no duplicate
+    operation ids in their histories).
+    """
+    watermark = next(_op_counter)
+    reset_operation_serials()
+    try:
+        yield
+    finally:
+        reset_operation_serials(watermark + 1)

@@ -99,6 +99,28 @@ class TestProperty1Validity:
         verdict = check_swmr_atomicity(HistoryBuilder().read(1, "ghost").history())
         assert verdict.violated_property == 1
 
+    def test_unhashable_read_value_rejected_not_crashed(self):
+        # The candidate index is only a prefilter; unhashable values must
+        # still produce a property-1 verdict, not a TypeError.
+        verdict = check_swmr_atomicity(
+            HistoryBuilder().write("a").read(1, ["unhashable"]).history()
+        )
+        assert not verdict.ok
+        assert verdict.violated_property == 1
+
+    def test_unhashable_write_values_still_checked(self):
+        builder = HistoryBuilder().write(["x"])
+        builder.read(1, ["x"])
+        assert check_swmr_atomicity(builder.history()).ok
+
+    def test_nan_read_matches_no_write(self):
+        # Candidacy is defined by ``==`` (as in every other spec checker),
+        # not by dict-lookup identity: NaN equals nothing, including itself.
+        nan = float("nan")
+        verdict = check_swmr_atomicity(HistoryBuilder().write(nan).read(1, nan).history())
+        assert not verdict.ok
+        assert verdict.violated_property == 1
+
 
 class TestProperty2Freshness:
     def test_stale_read_rejected(self):

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line reproducer."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -75,3 +77,69 @@ class TestRegistryCli:
             "--count", "3", "--strict",
         ]) == 2
         assert "strict" in capsys.readouterr().err
+
+    def test_run_parallel_flag(self, capsys):
+        assert main([
+            "run", "--protocol", "abd", "--trials", "2",
+            "--parallel", "--workers", "2",
+        ]) == 0
+        assert "all 2 trials complete" in capsys.readouterr().out
+
+
+class TestJsonlAndCompare:
+    def _emit(self, path, seed, spacing="50"):
+        assert main([
+            "run", "--protocol", "abd", "--trials", "2",
+            "--seed", str(seed), "--spacing", spacing, "--jsonl", str(path),
+        ]) == 0
+
+    def test_jsonl_appends_structured_results(self, tmp_path, capsys):
+        sink = tmp_path / "runs.jsonl"
+        self._emit(sink, seed=0)
+        self._emit(sink, seed=0)
+        capsys.readouterr()
+        lines = sink.read_text().strip().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["protocol"] == "abd"
+        assert len(record["trials"]) == 2
+        assert lines[0] == lines[1]  # same seed ⇒ identical structured line
+
+    def test_compare_identical_files_passes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._emit(a, seed=3)
+        self._emit(b, seed=3)
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions detected" in out
+
+    def test_compare_flags_round_count_regressions(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._emit(a, seed=3)
+        record = json.loads(a.read_text())
+        # Doctor the candidate: pretend reads got one round slower.
+        record["worst_read"] += 1
+        for trial in record["trials"]:
+            trial["read_rounds"] = [r + 1 for r in trial["read_rounds"]]
+        b.write_text(json.dumps(record) + "\n")
+        assert main(["compare", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out and "worst_read" in out and "mean read rounds" in out
+        # The reverse direction is an improvement, not a regression.
+        capsys.readouterr()
+        assert main(["compare", str(b), str(a)]) == 0
+        assert "improvements" in capsys.readouterr().out
+
+    def test_compare_reports_unmatched_runs(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._emit(a, seed=1)
+        b.write_text("")
+        assert main(["compare", str(a), str(b)]) == 0
+        assert "only in" in capsys.readouterr().out
+
+    def test_compare_rejects_malformed_lines(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text("not json\n")
+        b.write_text("")
+        assert main(["compare", str(a), str(b)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

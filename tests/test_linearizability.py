@@ -1,10 +1,16 @@
 """Unit and property tests for the general linearizability checker."""
 
+import random
+
 from hypothesis import given, settings, strategies as st
 
 from repro.spec.atomicity import check_swmr_atomicity
 from repro.spec.history import History, OperationRecord
-from repro.spec.linearizability import is_linearizable, linearization_witness
+from repro.spec.linearizability import (
+    is_linearizable,
+    is_linearizable_reference,
+    linearization_witness,
+)
 from repro.types import BOTTOM, ProcessId, fresh_operation_id, reader_id, writer_id
 
 
@@ -126,3 +132,71 @@ class TestCrossValidation:
         the same specification through entirely different algorithms.
         """
         assert check_swmr_atomicity(history).ok == is_linearizable(history)
+
+
+def _concurrent_history(seed, n_clients=6, ops_per_client=2, n_values=3):
+    """Overlap-heavy multi-writer history with duplicated write values.
+
+    Duplicate values multiply the feasible frontiers, which is exactly
+    where the memoized search (and any bug in its memo keys) lives.
+    """
+    rng = random.Random(seed)
+    records = []
+    for index in range(n_clients):
+        is_writer = index < n_clients // 2
+        client = ProcessId("writer", index + 1) if is_writer else reader_id(index + 1)
+        clock = rng.randint(1, 4)
+        for _ in range(ops_per_client):
+            duration = rng.randint(5, 25)
+            value = f"v{rng.randint(1, n_values)}"
+            responded = None if is_writer and rng.random() < 0.1 else clock + duration
+            records.append(
+                op("write" if is_writer else "read", client, clock, responded, value)
+            )
+            if responded is None:
+                break  # a client never invokes past an incomplete operation
+            clock = responded + rng.randint(1, 3)
+    return History(records)
+
+
+class TestBitmaskPinnedToReference:
+    """The bitmask core must be indistinguishable from the frozenset oracle."""
+
+    @given(swmr_histories())
+    @settings(max_examples=120, deadline=None)
+    def test_agrees_on_random_swmr_histories(self, history):
+        assert is_linearizable(history) == is_linearizable_reference(history)
+
+    def test_agrees_on_concurrent_multiwriter_histories(self):
+        for seed in range(150):
+            history = _concurrent_history(seed)
+            assert is_linearizable(history) == is_linearizable_reference(history), (
+                f"bitmask and reference disagree on seed {seed}:\n{history.describe()}"
+            )
+
+    def test_witness_decision_matches_and_replays(self):
+        """A returned witness must actually *be* a linearization."""
+        for seed in range(80):
+            history = _concurrent_history(seed)
+            witness = linearization_witness(history)
+            assert (witness is not None) == is_linearizable(history)
+            if witness is None:
+                continue
+            # Every complete operation appears exactly once (dropped pending
+            # writes are allowed to be absent).
+            complete_ids = {r.op_id for r in history.records if r.complete}
+            witness_ids = [r.op_id for r in witness]
+            assert len(witness_ids) == len(set(witness_ids))
+            assert complete_ids <= set(witness_ids)
+            # Precedence is respected and every read sees the latest write.
+            positions = {r.op_id: i for i, r in enumerate(witness)}
+            for a in witness:
+                for b in witness:
+                    if a.precedes(b):
+                        assert positions[a.op_id] < positions[b.op_id]
+            current = BOTTOM
+            for record in witness:
+                if record.kind == "write":
+                    current = record.value
+                else:
+                    assert record.value == current
