@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Performance baseline: simulator, checker, and sweep-engine throughput.
+"""Performance baseline: simulator, checker, sweep, and sharded throughput.
 
 Unlike the figure/table benchmarks (which reproduce the paper's *results*),
 this file tracks how fast the reproduction itself runs, so every PR has a
-trajectory to beat.  Three meters:
+trajectory to beat.  Four meters:
 
 * **simulator** — events/sec through the event queue + network + round
   engine on seeded workloads over three protocols;
@@ -13,7 +13,10 @@ trajectory to beat.  Three meters:
   *asserts* equivalence, so CI fails on a checker divergence, never on
   timing noise);
 * **sweep** — trials/sec of a 4-protocol sweep executed serially and with
-  ``parallel=True``, asserting byte-identical ``to_dict()`` output.
+  ``parallel=True``, asserting byte-identical ``to_dict()`` output;
+* **sharded** — events/sec of the keyspace-sharded backend over a
+  keys × protocol grid (skewed keyed workloads through the multiplexed
+  object handlers), asserting per-key atomicity on every cell.
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -49,7 +52,7 @@ from repro.types import ProcessId, fresh_operation_id, reader_id
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -215,6 +218,70 @@ def bench_sweep(quick: bool, trials: int | None = None,
 
 
 # --------------------------------------------------------------------- #
+# Sharded backend: events/sec over a keys × protocol grid
+# --------------------------------------------------------------------- #
+
+
+def bench_sharded(quick: bool) -> dict:
+    """Events/sec of keyspace-sharded clusters (keys × protocol grid).
+
+    Each cell builds a sharded backend (one register per key on shared
+    physical objects), replays a skewed keyed workload, and checks
+    atomicity per key — the run *asserts* every shard's verdict, so CI
+    fails on a correctness regression, never on timing.
+    """
+    operations = 24 if quick else 80
+    key_counts = (2, 8) if quick else (2, 8, 32)
+    protocols = ("abd", "fast-regular")
+    grid = []
+    total_events = 0
+    total_seconds = 0.0
+    for name in protocols:
+        for key_count in key_counts:
+            cluster = (
+                Cluster(name, t=1, n_readers=3, backend="sharded", keys=key_count)
+                .with_workload(operations=operations, spacing=30, key_skew=1.0)
+                .check("atomicity")
+            )
+            result = cluster.run(trials=1, seed=13, keep_history=False)
+            assert result.ok, (
+                f"sharded {name} with {key_count} keys failed: {result.failures()}"
+            )
+            backend = cluster.build_backend()
+            plans = WorkloadGenerator(
+                seed=13, n_readers=3, spacing=30, keys=key_count, key_skew=1.0
+            ).plan(operations)
+            for plan in plans:
+                backend.schedule(plan)
+            cell_started = time.perf_counter()
+            events = backend.run()
+            cell_seconds = time.perf_counter() - cell_started
+            total_events += events
+            total_seconds += cell_seconds
+            grid.append({
+                "protocol": name,
+                "keys": key_count,
+                "events": events,
+                "seconds": round(cell_seconds, 4),
+                "events_per_sec": round(events / cell_seconds),
+            })
+    # The aggregate counts only the timed backend.run() windows, so the
+    # metric tracks simulator throughput — not the per-cell verification
+    # runs or workload generation around them.
+    return {
+        "protocols": list(protocols),
+        "key_counts": list(key_counts),
+        "operations_per_cell": operations,
+        "key_skew": 1.0,
+        "grid": grid,
+        "events": total_events,
+        "seconds": round(total_seconds, 4),
+        "events_per_sec": round(total_events / total_seconds),
+        "per_key_atomicity": True,  # asserted above, not just reported
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -229,6 +296,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "simulator": bench_simulator(quick),
         "checker": bench_checker(quick),
         "sweep": bench_sweep(quick, trials=trials, workers=workers),
+        "sharded": bench_sharded(quick),
     }
     return report
 
@@ -260,6 +328,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{swept['parallel_trials_per_sec']:,} parallel "
           f"({swept['speedup']}x on {swept['workers']} worker(s) / "
           f"{report['cpu_count']} CPU(s), identical results)")
+    sharded = report["sharded"]
+    print(f"sharded   : {sharded['events_per_sec']:>10,} events/sec over "
+          f"{len(sharded['grid'])} cells (keys {sharded['key_counts']}, "
+          f"per-key atomicity asserted)")
     print(f"[saved to {args.output}]")
     return 0
 

@@ -10,6 +10,22 @@ Everything is addressed by name through the :mod:`repro.api` facade: the
 protocol comes from the registry, the Byzantine behaviour from the fault
 registry, and the result is a structured :class:`repro.api.RunResult`.
 
+Backend selection
+-----------------
+The facade runs every experiment through a named **system backend**
+(``python -m repro list-backends``):
+
+* ``single`` (default) — one SWMR register, exactly the system below.
+* ``multi-writer`` — a writer family over the SWMR→MWMR stack:
+  ``Cluster("mwmr-fast-regular", n_writers=3)`` (protocols advertise their
+  backend, so the name alone is enough).
+* ``sharded`` — many named registers on the same physical objects:
+  ``Cluster("abd", backend="sharded", keys=8)``.
+
+The same workload/check/run pipeline drives all three — see
+``examples/backends_tour.py`` for the multi-writer and sharded versions of
+this script.
+
 Run:  python examples/quickstart.py
 """
 

@@ -10,13 +10,20 @@ Commands:
 * ``recurrence`` [--max-k K]        — print the t_k table and the log bound.
 * ``list-protocols``                — the protocol registry: names, models,
                                       resilience classes, advertised rounds.
-* ``run`` --protocol NAME [--faults NAME] [--t T] [--trials N]
-  [--parallel] [--jsonl PATH] … — build a registry-driven experiment
-  through the :class:`repro.api.Cluster` facade, run it (optionally on a
-  process pool), print per-trial latencies and consistency-check verdicts,
-  and optionally append the structured result as one JSON line.
+* ``list-backends``                 — the system-backend registry: single,
+                                      multi-writer, sharded, and plugins.
+* ``list-scenarios`` [--t T]        — the scenario registry: fault plans and
+                                      workload shapes at threshold ``t``.
+* ``run`` --protocol NAME [--backend NAME] [--keys N] [--writers N]
+  [--faults NAME] [--t T] [--trials N] [--parallel] [--jsonl PATH] … —
+  build a registry-driven experiment through the :class:`repro.api.Cluster`
+  facade, run it (optionally on a process pool), print per-trial latencies
+  and consistency-check verdicts, and optionally append the structured
+  result as one JSON line.
 * ``compare`` A.jsonl B.jsonl — diff two stored result files and flag
   round-count / latency / completion regressions (exit 1 when B regressed).
+  Rows are matched on protocol, scenario, sizes *and* backend/key layout,
+  so runs from different backends are never compared as like-for-like.
 
 Everything runs in seconds on a laptop; nothing touches the network.
 """
@@ -111,11 +118,58 @@ def _cmd_list_protocols(_args: argparse.Namespace) -> int:
             "resilience": spec.resilience,
             "writes": str(spec.write_rounds),
             "reads": spec.reads_description(),
+            "backend": spec.backend,
             "description": spec.description,
         })
     print(format_table(
         "registered protocols",
-        ("name", "model", "semantics", "resilience", "writes", "reads", "description"),
+        ("name", "model", "semantics", "resilience", "writes", "reads", "backend",
+         "description"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_list_backends(_args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.api import backend_specs
+
+    rows = []
+    for spec in backend_specs():
+        rows.append({
+            "name": spec.name,
+            "keyed": "yes" if spec.keyed else "no",
+            "multi-writer": "yes" if spec.multi_writer else "no",
+            "aliases": ", ".join(spec.aliases) or "-",
+            "description": spec.description,
+        })
+    print(format_table(
+        "registered system backends",
+        ("name", "keyed", "multi-writer", "aliases", "description"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.workloads.scenarios import available_scenarios, get_scenario
+
+    rows = []
+    for name in available_scenarios():
+        scenario = get_scenario(name, args.t)
+        plan = scenario.fault_plan
+        faults = "none" if plan.maker is None else f"{plan.name}×{plan.effective_count(args.t)}"
+        rows.append({
+            "name": scenario.name,
+            "faults": faults,
+            "reads": f"{scenario.read_fraction:.2f}",
+            "spacing": str(scenario.spacing),
+            "description": scenario.description,
+        })
+    print(format_table(
+        f"registered scenarios (t={args.t})",
+        ("name", "faults", "reads", "spacing", "description"),
         rows,
     ))
     return 0
@@ -127,12 +181,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import Cluster, get_spec
     from repro.errors import ConfigurationError
 
-    cluster = Cluster(args.protocol, t=args.t, S=args.S, n_readers=args.readers)
+    cluster = Cluster(
+        args.protocol,
+        t=args.t,
+        S=args.S,
+        n_readers=args.readers,
+        backend=args.backend,
+        keys=args.keys,
+        n_writers=args.writers_count,
+    )
     if args.faults:
         cluster = cluster.with_faults(args.faults, count=args.count, strict=args.strict)
     elif args.count != 1 or args.strict:
         raise ConfigurationError("--count/--strict have no effect without --faults")
-    cluster = cluster.with_workload(reads=args.reads, spacing=args.spacing, operations=args.ops)
+    cluster = cluster.with_workload(reads=args.reads, spacing=args.spacing,
+                                    operations=args.ops, key_skew=args.key_skew)
     checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
     result = cluster.check(*checks).run(
         trials=args.trials,
@@ -157,10 +220,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _load_jsonl(path: str) -> dict[tuple, dict]:
-    """Index a ``run --jsonl`` file by (protocol, scenario, t, n_readers).
+    """Index a ``run --jsonl`` file by protocol, scenario, sizes and backend.
 
-    A later line for the same key supersedes earlier ones, so a file that
-    accumulates repeated runs compares at its latest state.
+    The key includes the backend name, key count and writer count (absent
+    fields mean the default single backend, so files written before
+    backends existed stay comparable).  Rows produced by different
+    backends therefore never match each other — a sharded 8-key run is not
+    like-for-like with a single-register one even if every other dimension
+    agrees.  A later line for the same key supersedes earlier ones, so a
+    file that accumulates repeated runs compares at its latest state.
     """
     import json
 
@@ -177,7 +245,9 @@ def _load_jsonl(path: str) -> dict[tuple, dict]:
             except json.JSONDecodeError as error:
                 raise ConfigurationError(f"{path}:{line_no}: not valid JSON ({error})") from None
             key = (record.get("protocol"), record.get("scenario"),
-                   record.get("t"), record.get("n_readers"))
+                   record.get("t"), record.get("n_readers"),
+                   record.get("backend", "single"), record.get("keys", 1),
+                   record.get("writers", 1))
             runs[key] = record
     return runs
 
@@ -198,6 +268,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for key in shared:
         a, b = baseline[key], candidate[key]
         label = f"{key[0]} @ {key[1]} (t={key[2]}, {key[3]} readers)"
+        if key[4] != "single":
+            label += f" [{key[4]}, {key[5]} key(s), {key[6]} writer(s)]"
         for metric in ("worst_write", "worst_read", "incomplete"):
             old, new = a.get(metric, 0), b.get(metric, 0)
             if new > old:
@@ -275,9 +347,22 @@ def main(argv: list[str] | None = None) -> int:
     recurrence.add_argument("--max-k", type=int, default=10)
 
     sub.add_parser("list-protocols", help="show the protocol registry")
+    sub.add_parser("list-backends", help="show the system-backend registry")
+
+    scenarios = sub.add_parser("list-scenarios", help="show the scenario registry")
+    scenarios.add_argument("--t", type=int, default=1,
+                           help="threshold the fault plans are sized for")
 
     run = sub.add_parser("run", help="run a registry-driven experiment")
     run.add_argument("--protocol", required=True, help="registry name (see list-protocols)")
+    run.add_argument("--backend", default=None,
+                     help="system backend (see list-backends; default: the protocol's own)")
+    run.add_argument("--keys", type=int, default=None,
+                     help="key count for keyed backends (e.g. --backend sharded)")
+    run.add_argument("--writers", dest="writers_count", type=int, default=None,
+                     help="writer family size for multi-writer backends")
+    run.add_argument("--key-skew", type=float, default=0.0,
+                     help="Zipf-style key skew for keyed workloads (0 = uniform)")
     run.add_argument("--t", type=int, default=1, help="fault threshold")
     run.add_argument("--S", type=int, default=None, help="object count (default: protocol minimum)")
     run.add_argument("--readers", type=int, default=2, help="reader population")
@@ -315,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
         "latency": _cmd_latency,
         "recurrence": _cmd_recurrence,
         "list-protocols": _cmd_list_protocols,
+        "list-backends": _cmd_list_backends,
+        "list-scenarios": _cmd_list_scenarios,
         "run": _cmd_run,
         "compare": _cmd_compare,
     }

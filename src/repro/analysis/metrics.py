@@ -56,6 +56,26 @@ class LatencyReport:
         }
 
 
+def _account_rounds(simulator, trace, report: LatencyReport, verify_against_wire: bool) -> None:
+    """Fold every executed operation's round count into ``report``."""
+    for operation in simulator.operations:
+        if operation.status is not OperationStatus.COMPLETE:
+            report.incomplete += 1
+            continue
+        rounds = operation.rounds_used
+        if verify_against_wire:
+            on_wire = trace.round_trip_count(operation.op_id)
+            if on_wire != rounds:
+                raise SpecificationError(
+                    f"engine counted {rounds} rounds for {operation.op_id} "
+                    f"but the wire shows {on_wire}"
+                )
+        if operation.op_id.kind == "write":
+            report.write_rounds.append(rounds)
+        else:
+            report.read_rounds.append(rounds)
+
+
 def measure_latency(
     system: RegisterSystem,
     plans: list[OperationPlan],
@@ -66,20 +86,26 @@ def measure_latency(
     apply_plan(system, plans)
     system.run()
     report = LatencyReport(protocol=system.protocol.name, scenario=scenario)
-    for operation in system.simulator.operations:
-        if operation.status is not OperationStatus.COMPLETE:
-            report.incomplete += 1
-            continue
-        rounds = operation.rounds_used
-        if verify_against_wire:
-            on_wire = system.trace.round_trip_count(operation.op_id)
-            if on_wire != rounds:
-                raise SpecificationError(
-                    f"engine counted {rounds} rounds for {operation.op_id} "
-                    f"but the wire shows {on_wire}"
-                )
-        if operation.op_id.kind == "write":
-            report.write_rounds.append(rounds)
-        else:
-            report.read_rounds.append(rounds)
+    _account_rounds(system.simulator, system.trace, report, verify_against_wire)
+    return report
+
+
+def measure_backend_latency(
+    backend,
+    plans: list[OperationPlan],
+    scenario: str = "",
+    verify_against_wire: bool = True,
+) -> LatencyReport:
+    """Replay ``plans`` through a :class:`~repro.api.backends.SystemBackend`.
+
+    The backend routes each plan to its register/writer (key-aware for
+    sharded clusters, writer-index-aware for MWMR systems); the accounting
+    is the same wire-cross-checked rounds-per-operation fold as
+    :func:`measure_latency`.
+    """
+    for plan in plans:
+        backend.schedule(plan)
+    backend.run()
+    report = LatencyReport(protocol=backend.label, scenario=scenario)
+    _account_rounds(backend.simulator, backend.trace, report, verify_against_wire)
     return report

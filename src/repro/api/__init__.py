@@ -48,6 +48,15 @@ from repro.api.faults import (
     get_fault,
     register_fault,
 )
+from repro.api.backends import (
+    BackendRequest,
+    BackendSpec,
+    SystemBackend,
+    available_backends,
+    backend_specs,
+    get_backend_spec,
+    register_backend,
+)
 from repro.api.cluster import (
     CheckVerdict,
     Cluster,
@@ -57,6 +66,7 @@ from repro.api.cluster import (
     TrialResult,
     TrialSpec,
     available_checks,
+    run_check,
     run_trial,
     sweep,
 )
@@ -76,8 +86,17 @@ __all__ = [
     "fault_spec",
     "fault_specs",
     "available_faults",
+    # backend registry
+    "BackendRequest",
+    "BackendSpec",
+    "SystemBackend",
+    "register_backend",
+    "get_backend_spec",
+    "available_backends",
+    "backend_specs",
     # builder + results
     "Cluster",
+    "run_check",
     "CheckVerdict",
     "FaultInventory",
     "TrialResult",

@@ -1,0 +1,381 @@
+"""System backends: one harness API over single, multi-writer and sharded clusters.
+
+A **backend** is the piece of the facade that turns a protocol registry
+entry into a *running storage system* and back into histories and round
+accounting.  The :class:`Cluster` builder, the trial engine, the CLI and
+the benchmarks all talk to systems exclusively through this interface, so
+a new cluster shape (a batched simulator, a k-atomic store, …) slots in by
+registering one :class:`BackendSpec` — no consumer changes.
+
+Three backends ship built in:
+
+* ``single`` — today's :class:`~repro.registers.base.RegisterSystem`
+  (one SWMR register, one writer).  The default; behaviour and structured
+  results are byte-identical to the pre-backend facade.
+* ``multi-writer`` — the SWMR→MWMR transformation
+  (:class:`~repro.registers.transform_mwmr.MultiWriterRegisterSystem`) for
+  registered :class:`MultiWriterStackProtocol` stacks, or
+  :class:`~repro.registers.transform_mwmr.NativeMultiWriterSystem` for
+  natively multi-writer protocols such as ``mw-abd``.
+* ``sharded`` — a keyspace-sharding composite
+  (:class:`~repro.registers.sharded.ShardedRegisterSystem`): one register
+  per key, one protocol instance each, every shard multiplexed onto the
+  same physical objects; consistency is checked per key.
+
+The lifecycle is build → :meth:`SystemBackend.schedule` (one call per
+:class:`~repro.workloads.generator.OperationPlan`) → :meth:`run` →
+:meth:`histories` (one per key) with rounds accounted by
+:func:`repro.analysis.metrics.measure_backend_latency` against the shared
+simulator and wire trace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.api.registry import ProtocolSpec
+from repro.errors import ConfigurationError
+from repro.spec.history import History
+from repro.types import ProcessId
+from repro.workloads.generator import OperationPlan
+
+#: The key name single-register backends report their one history under.
+DEFAULT_KEY = "default"
+
+#: Key layout a sharded cluster gets when none is configured.
+DEFAULT_SHARD_KEYS = ("k1", "k2")
+
+
+@dataclass(frozen=True, slots=True)
+class BackendRequest:
+    """Picklable description of the system one trial needs.
+
+    Everything here is plain data so :class:`~repro.api.cluster.TrialSpec`
+    can carry it across process boundaries; the stateful pieces (fault
+    behaviours, protocol instances) are created fresh per build.
+    """
+
+    t: int = 1
+    S: int | None = None
+    n_readers: int = 2
+    n_writers: int = 2
+    keys: tuple[str, ...] = ()
+    allow_overfault: bool = False
+    protocol_kwargs: tuple[tuple[str, Any], ...] = ()
+
+
+class SystemBackend(ABC):
+    """A built storage system behind the harness API.
+
+    Concrete backends wrap one simulated system and expose the uniform
+    surface the trial engine drives: ``schedule`` routes one operation
+    plan, ``run`` executes to quiescence, ``histories`` returns one
+    recorded history per key, and ``simulator``/``trace`` feed the shared
+    round accounting.  ``system`` is the wrapped harness — the low-level
+    escape hatch ``Cluster.build_system()`` hands out.
+    """
+
+    #: Logical register names this backend hosts (one entry for
+    #: single-register backends).
+    keys: tuple[str, ...] = (DEFAULT_KEY,)
+
+    def __init__(self, system: Any) -> None:
+        self.system = system
+        self.simulator = system.simulator
+        self.trace = system.trace
+        self.ctx = system.ctx
+
+    @property
+    def S(self) -> int:
+        """Physical object count of the wrapped system."""
+        return self.ctx.S
+
+    @property
+    def label(self) -> str:
+        """Protocol label for latency reports."""
+        return self.system.protocol.name
+
+    @abstractmethod
+    def schedule(self, plan: OperationPlan) -> None:
+        """Route one operation plan into the wrapped system."""
+
+    def run(self) -> int:
+        """Run to quiescence; returns the simulator event count."""
+        return self.system.run()
+
+    def history(self) -> History:
+        """The combined history across all keys (drill-down view)."""
+        return self.system.history()
+
+    @abstractmethod
+    def histories(self) -> dict[str, History]:
+        """One recorded history per key, for per-key consistency checks."""
+
+
+class SingleRegisterBackend(SystemBackend):
+    """The default backend: one SWMR register on a ``RegisterSystem``."""
+
+    def schedule(self, plan: OperationPlan) -> None:
+        if plan.key is not None:
+            raise ConfigurationError(
+                "the single backend holds one register — keyed plans need backend='sharded'"
+            )
+        if plan.kind == "write":
+            self.system.write(plan.value, at=plan.at)
+        else:
+            self.system.read(plan.client_index, at=plan.at)
+
+    def histories(self) -> dict[str, History]:
+        return {DEFAULT_KEY: self.system.history()}
+
+
+class MultiWriterBackend(SystemBackend):
+    """One MWMR register; write plans route by writer index."""
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def __init__(self, system: Any, label: str) -> None:
+        super().__init__(system)
+        self._label = label
+
+    def schedule(self, plan: OperationPlan) -> None:
+        if plan.key is not None:
+            raise ConfigurationError(
+                "the multi-writer backend holds one register — keyed plans "
+                "need backend='sharded'"
+            )
+        if plan.kind == "write":
+            self.system.write(plan.client_index, plan.value, at=plan.at)
+        else:
+            self.system.read(plan.client_index, at=plan.at)
+
+    def histories(self) -> dict[str, History]:
+        return {DEFAULT_KEY: self.system.history()}
+
+
+class ShardedBackend(SystemBackend):
+    """Many named registers; plans route by key."""
+
+    def __init__(self, system: Any) -> None:
+        super().__init__(system)
+        self.keys = system.keys
+
+    def schedule(self, plan: OperationPlan) -> None:
+        if plan.key is None:
+            raise ConfigurationError(
+                "the sharded backend needs a key on every plan — generate the "
+                "workload with keys= or give explicit plans a key"
+            )
+        if plan.kind == "write":
+            self.system.write(plan.key, plan.value, at=plan.at)
+        else:
+            self.system.read(plan.key, plan.client_index, at=plan.at)
+
+    def histories(self) -> dict[str, History]:
+        return self.system.histories()
+
+
+# --------------------------------------------------------------------- #
+# Backend registry
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class BackendSpec:
+    """Registry entry: a backend builder plus the metadata the facade reports.
+
+    ``keyed`` backends accept multi-key layouts (``Cluster(keys=...)``);
+    ``multi_writer`` backends drive a writer family (``n_writers``).
+    """
+
+    name: str
+    builder: Callable[[ProtocolSpec, BackendRequest, Mapping[ProcessId, Any]], SystemBackend]
+    description: str
+    keyed: bool = False
+    multi_writer: bool = False
+    aliases: tuple[str, ...] = ()
+
+    def build(
+        self,
+        protocol_spec: ProtocolSpec,
+        request: BackendRequest,
+        behaviors: Mapping[ProcessId, Any],
+    ) -> SystemBackend:
+        """A fresh backend system for one trial (systems are stateful)."""
+        return self.builder(protocol_spec, request, behaviors)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly metadata (the builder callable omitted)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "keyed": self.keyed,
+            "multi_writer": self.multi_writer,
+            "aliases": list(self.aliases),
+        }
+
+
+_BACKENDS: dict[str, BackendSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(spec: BackendSpec) -> BackendSpec:
+    """Register ``spec`` under its name and aliases."""
+    for key in (spec.name, *spec.aliases):
+        if key in _BACKENDS or key in _ALIASES:
+            raise ConfigurationError(f"backend name {key!r} registered twice")
+    _BACKENDS[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def get_backend_spec(name: str) -> BackendSpec:
+    """The :class:`BackendSpec` registered under ``name`` (or an alias)."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _BACKENDS[canonical]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_specs() -> tuple[BackendSpec, ...]:
+    """All registered specs, sorted by name."""
+    return tuple(_BACKENDS[name] for name in sorted(_BACKENDS))
+
+
+# --------------------------------------------------------------------- #
+# Built-in builders
+# --------------------------------------------------------------------- #
+
+
+def _build_protocol(protocol_spec: ProtocolSpec, request: BackendRequest) -> Any:
+    return protocol_spec.build(
+        n_readers=request.n_readers, **dict(request.protocol_kwargs)
+    )
+
+
+def _reject_stack(protocol: Any, protocol_spec: ProtocolSpec, backend: str) -> None:
+    from repro.registers.transform_mwmr import MultiWriterStackProtocol
+
+    if isinstance(protocol, MultiWriterStackProtocol):
+        raise ConfigurationError(
+            f"protocol {protocol_spec.name!r} is a multi-writer stack and cannot "
+            f"run on the {backend!r} backend; use backend='multi-writer'"
+        )
+
+
+def _build_single(
+    protocol_spec: ProtocolSpec,
+    request: BackendRequest,
+    behaviors: Mapping[ProcessId, Any],
+) -> SystemBackend:
+    from repro.registers.base import RegisterSystem
+
+    protocol = _build_protocol(protocol_spec, request)
+    _reject_stack(protocol, protocol_spec, "single")
+    system = RegisterSystem(
+        protocol,
+        t=request.t,
+        S=request.S,
+        n_readers=request.n_readers,
+        behaviors=behaviors,
+        allow_overfault=request.allow_overfault,
+    )
+    return SingleRegisterBackend(system)
+
+
+def _build_multi_writer(
+    protocol_spec: ProtocolSpec,
+    request: BackendRequest,
+    behaviors: Mapping[ProcessId, Any],
+) -> SystemBackend:
+    from repro.registers.transform_mwmr import (
+        MultiWriterRegisterSystem,
+        MultiWriterStackProtocol,
+        NativeMultiWriterSystem,
+    )
+
+    protocol = _build_protocol(protocol_spec, request)
+    if isinstance(protocol, MultiWriterStackProtocol):
+        system: Any = MultiWriterRegisterSystem(
+            protocol.substrate_factory,
+            t=request.t,
+            S=request.S,
+            n_writers=request.n_writers,
+            n_readers=request.n_readers,
+            behaviors=behaviors,
+            allow_overfault=request.allow_overfault,
+        )
+    elif hasattr(protocol, "write_generator_for"):
+        system = NativeMultiWriterSystem(
+            protocol,
+            t=request.t,
+            S=request.S,
+            n_writers=request.n_writers,
+            n_readers=request.n_readers,
+            behaviors=behaviors,
+            allow_overfault=request.allow_overfault,
+        )
+    else:
+        raise ConfigurationError(
+            f"protocol {protocol_spec.name!r} is single-writer only; the "
+            "multi-writer backend needs an MWMR stack (mwmr-*) or a native "
+            "multi-writer protocol (write_generator_for)"
+        )
+    return MultiWriterBackend(system, label=protocol.name)
+
+
+def _build_sharded(
+    protocol_spec: ProtocolSpec,
+    request: BackendRequest,
+    behaviors: Mapping[ProcessId, Any],
+) -> SystemBackend:
+    from repro.registers.sharded import ShardedRegisterSystem
+
+    probe = _build_protocol(protocol_spec, request)
+    _reject_stack(probe, protocol_spec, "sharded")
+    system = ShardedRegisterSystem(
+        lambda: _build_protocol(protocol_spec, request),
+        keys=request.keys or DEFAULT_SHARD_KEYS,
+        t=request.t,
+        S=request.S,
+        n_readers=request.n_readers,
+        behaviors=behaviors,
+        allow_overfault=request.allow_overfault,
+    )
+    return ShardedBackend(system)
+
+
+register_backend(BackendSpec(
+    name="single",
+    builder=_build_single,
+    description="one SWMR register on a RegisterSystem (the default)",
+    aliases=("swmr",),
+))
+
+register_backend(BackendSpec(
+    name="multi-writer",
+    builder=_build_multi_writer,
+    description="one MWMR register: the SWMR→MWMR stack or a native MWMR protocol",
+    multi_writer=True,
+    aliases=("mwmr", "mw"),
+))
+
+register_backend(BackendSpec(
+    name="sharded",
+    builder=_build_sharded,
+    description="keyspace-sharded cluster: one register per key on shared objects",
+    keyed=True,
+))

@@ -17,12 +17,14 @@ tests) composes experiments through::
 
 Builder methods return **new** ``Cluster`` instances (fluent, immutable), so
 partial configurations can be reused as templates across sweeps.  ``run``
-builds one fresh :class:`~repro.registers.base.RegisterSystem` per trial
-(protocols and behaviours are stateful), replays a seeded workload through
-:func:`repro.analysis.metrics.measure_latency`, runs the requested spec
-checkers on the recorded history, and returns a structured
-:class:`RunResult` — per-trial latencies, round counts, check verdicts and
-the materialized fault inventory.
+builds one fresh system per trial through a named **backend**
+(:mod:`repro.api.backends`: ``single`` SWMR registers, ``multi-writer``
+MWMR systems, ``sharded`` keyspace composites — protocols advertise their
+default, so ``Cluster("mwmr-fast-regular")`` just works), replays a seeded
+workload through :func:`repro.analysis.metrics.measure_backend_latency`,
+runs the requested spec checkers per key on the recorded histories, and
+returns a structured :class:`RunResult` — per-trial latencies, round
+counts, check verdicts and the materialized fault inventory.
 
 Execution is factored through a picklable :class:`TrialSpec` and the pure
 module-level :func:`run_trial` function, so trials can run either in-process
@@ -51,20 +53,27 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.analysis.metrics import measure_latency
+from repro.analysis.metrics import measure_backend_latency
 from repro.analysis.tables import format_table
+from repro.api.backends import (
+    DEFAULT_SHARD_KEYS,
+    BackendRequest,
+    BackendSpec,
+    SystemBackend,
+    get_backend_spec,
+)
 from repro.api.faults import fault_spec
 from repro.api.registry import ProtocolSpec, available_protocols, get_spec
 from repro.errors import ConfigurationError
-from repro.registers.base import RegisterSystem, resolve_reader
-from repro.spec.atomicity import check_swmr_atomicity
+from repro.registers.base import resolve_reader
+from repro.spec.atomicity import check_atomicity
 from repro.spec.history import History
 from repro.spec.linearizability import is_linearizable
 from repro.spec.regularity import check_swmr_regularity
 from repro.spec.safety import check_swmr_safety
 from repro.sim.process import FaultBehavior
 from repro.types import ProcessId, object_id, reader_ids, scoped_operation_serials
-from repro.workloads.generator import OperationPlan, WorkloadGenerator
+from repro.workloads.generator import OperationPlan, WorkloadGenerator, normalize_keys
 from repro.workloads.scenarios import Scenario, get_scenario
 
 
@@ -75,14 +84,24 @@ from repro.workloads.scenarios import Scenario, get_scenario
 
 @dataclass(frozen=True, slots=True)
 class CheckVerdict:
-    """Outcome of one consistency check on one trial's history."""
+    """Outcome of one consistency check on one trial's histories.
+
+    Single-register backends check one history and leave ``per_key`` unset.
+    Multi-key backends run the check on every key's history; ``per_key``
+    records each key's outcome, ``ok`` is their conjunction, and the
+    explanation names the failing keys.
+    """
 
     check: str
     ok: bool
     explanation: str = ""
+    per_key: Mapping[str, bool] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {"check": self.check, "ok": self.ok, "explanation": self.explanation}
+        payload = {"check": self.check, "ok": self.ok, "explanation": self.explanation}
+        if self.per_key is not None:
+            payload["per_key"] = dict(self.per_key)
+        return payload
 
 
 def _verdict_check(name: str, checker: Callable[[History], Any]) -> Callable[[History], CheckVerdict]:
@@ -103,7 +122,9 @@ def _linearizability_check(history: History) -> CheckVerdict:
 
 
 CHECKS: dict[str, Callable[[History], CheckVerdict]] = {
-    "atomicity": _verdict_check("atomicity", check_swmr_atomicity),
+    # check_atomicity dispatches on the writer population, so the same
+    # check name covers SWMR registers, MWMR systems, and sharded shards.
+    "atomicity": _verdict_check("atomicity", check_atomicity),
     "regularity": _verdict_check("regularity", check_swmr_regularity),
     "safety": _verdict_check("safety", check_swmr_safety),
     "linearizability": _linearizability_check,
@@ -113,6 +134,28 @@ CHECKS: dict[str, Callable[[History], CheckVerdict]] = {
 def available_checks() -> tuple[str, ...]:
     """All consistency checks addressable from :meth:`Cluster.check`."""
     return tuple(sorted(CHECKS))
+
+
+def run_check(name: str, histories: Mapping[str, History]) -> CheckVerdict:
+    """Run check ``name`` on every key's history and aggregate the verdicts.
+
+    Single-key backends get the plain verdict; multi-key backends get the
+    conjunction with per-key outcomes recorded in
+    :attr:`CheckVerdict.per_key` and failing keys named in the explanation.
+    """
+    if len(histories) == 1:
+        (history,) = histories.values()
+        return CHECKS[name](history)
+    per_key: dict[str, bool] = {}
+    failures: list[str] = []
+    for key in sorted(histories):
+        verdict = CHECKS[name](histories[key])
+        per_key[key] = verdict.ok
+        if not verdict.ok:
+            failures.append(f"[{key}] {verdict.explanation or 'check failed'}")
+    return CheckVerdict(
+        check=name, ok=not failures, explanation="; ".join(failures), per_key=per_key
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -209,6 +252,9 @@ class RunResult:
     faults: FaultInventory
     checks: tuple[str, ...]
     trials: list[TrialResult] = field(default_factory=list)
+    backend: str = "single"
+    key_count: int = 1
+    n_writers: int = 1
 
     @property
     def worst_write(self) -> int:
@@ -247,7 +293,7 @@ class RunResult:
         ]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "protocol": self.protocol,
             "semantics": self.semantics,
             "t": self.t,
@@ -262,6 +308,15 @@ class RunResult:
             "incomplete": self.incomplete,
             "ok": self.ok,
         }
+        if self.backend != "single":
+            # Backend + key layout metadata so stored rows from different
+            # backends are never compared as like-for-like (`repro compare`
+            # keys on these; absent fields mean the default single backend,
+            # keeping old JSONL files comparable).
+            payload["backend"] = self.backend
+            payload["keys"] = self.key_count
+            payload["writers"] = self.n_writers
+        return payload
 
     def row(self) -> dict[str, str]:
         """One aggregate table row (the latency-matrix shape)."""
@@ -293,9 +348,12 @@ class RunResult:
                     for name, verdict in trial.checks.items()
                 ) or "-",
             })
+        shape = ""
+        if self.backend != "single":
+            shape = f", backend={self.backend} ({self.key_count} key(s), {self.n_writers} writer(s))"
         title = (
             f"{self.protocol} [{self.semantics}] — t={self.t}, S={self.S}, "
-            f"{self.n_readers} readers, faults: {self.faults.describe()}"
+            f"{self.n_readers} readers{shape}, faults: {self.faults.describe()}"
         )
         return format_table(
             title,
@@ -371,6 +429,11 @@ class TrialSpec:
     (``seed + trial``); ``recorded_seed`` is what lands in
     :attr:`TrialResult.seed` (None for explicit schedules, which replay the
     same plan every trial).
+
+    ``backend`` names the system backend (registry of
+    :mod:`repro.api.backends`); ``keys``/``n_writers``/``key_skew`` describe
+    the key layout and writer family — all plain data, so sharded and
+    multi-writer trials pickle and parallelize exactly like single ones.
     """
 
     protocol: str
@@ -391,6 +454,22 @@ class TrialSpec:
     workload_seed: int
     recorded_seed: int | None
     keep_history: bool
+    backend: str = "single"
+    keys: tuple[str, ...] = ()
+    n_writers: int = 1
+    key_skew: float = 0.0
+
+    def backend_request(self) -> BackendRequest:
+        """The build parameters the backend needs, as plain data."""
+        return BackendRequest(
+            t=self.t,
+            S=self.S,
+            n_readers=self.n_readers,
+            n_writers=self.n_writers,
+            keys=self.keys,
+            allow_overfault=self.allow_overfault,
+            protocol_kwargs=self.protocol_kwargs,
+        )
 
     def plans(self) -> list[OperationPlan]:
         """The operation schedule this trial replays."""
@@ -399,8 +478,11 @@ class TrialSpec:
         generator = WorkloadGenerator(
             seed=self.workload_seed,
             n_readers=self.n_readers,
+            n_writers=self.n_writers,
             read_fraction=self.read_fraction,
             spacing=self.spacing,
+            keys=self.keys or None,
+            key_skew=self.key_skew,
         )
         return generator.plan(self.operations)
 
@@ -444,20 +526,12 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
         behaviors = _materialize_behaviors(
             spec.scenario, spec.fault_groups, spec.t, spec.allow_overfault
         )
-        protocol = protocol_spec.build(
-            n_readers=spec.n_readers, **dict(spec.protocol_kwargs)
+        backend = get_backend_spec(spec.backend).build(
+            protocol_spec, spec.backend_request(), behaviors
         )
-        system = RegisterSystem(
-            protocol,
-            t=spec.t,
-            S=spec.S,
-            n_readers=spec.n_readers,
-            behaviors=behaviors,
-            allow_overfault=spec.allow_overfault,
-        )
-        report = measure_latency(system, spec.plans(), scenario=spec.scenario_label)
-        history = system.history()
-        verdicts = {name: CHECKS[name](history) for name in spec.checks}
+        report = measure_backend_latency(backend, spec.plans(), scenario=spec.scenario_label)
+        histories = backend.histories()
+        verdicts = {name: run_check(name, histories) for name in spec.checks}
         return TrialResult(
             trial=spec.trial,
             seed=spec.recorded_seed,
@@ -465,7 +539,7 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             read_rounds=list(report.read_rounds),
             incomplete=report.incomplete,
             checks=verdicts,
-            history=history if spec.keep_history else None,
+            history=backend.history() if spec.keep_history else None,
         )
 
 
@@ -553,6 +627,13 @@ class Cluster:
         n_readers: reader population.
         allow_overfault: permit more than ``t`` faulty objects (demolition
             experiments).
+        backend: system backend name (see
+            :func:`repro.api.backends.available_backends`); defaults to the
+            protocol's own advertised backend, so single-register protocols
+            run exactly as before and ``mwmr-*`` stacks resolve to the
+            multi-writer backend automatically.
+        keys: key layout for keyed backends — a count or explicit names.
+        n_writers: writer family size for multi-writer backends.
         protocol_kwargs: forwarded to the protocol factory per trial.
     """
 
@@ -563,6 +644,9 @@ class Cluster:
         S: int | None = None,
         n_readers: int = 2,
         allow_overfault: bool = False,
+        backend: str | None = None,
+        keys: int | Sequence[str] | None = None,
+        n_writers: int | None = None,
         **protocol_kwargs: Any,
     ) -> None:
         self._spec = protocol if isinstance(protocol, ProtocolSpec) else get_spec(protocol)
@@ -582,6 +666,11 @@ class Cluster:
         self._operations = 10
         self._explicit_plans: tuple[OperationPlan, ...] | None = None
         self._checks: tuple[str, ...] = ()
+        self._backend: str | None = None
+        self._keys: tuple[str, ...] | None = None
+        self._n_writers: int | None = None
+        self._key_skew = 0.0
+        self._configure_backend(backend, keys, n_writers)
 
     @property
     def spec(self) -> ProtocolSpec:
@@ -590,6 +679,53 @@ class Cluster:
 
     def _clone(self) -> "Cluster":
         return copy.copy(self)
+
+    # ------------------------------------------------------------------ #
+    # Backend resolution
+    # ------------------------------------------------------------------ #
+
+    def _configure_backend(
+        self,
+        backend: str | None,
+        keys: int | Sequence[str] | None,
+        n_writers: int | None,
+    ) -> None:
+        if backend is not None:
+            self._backend = get_backend_spec(backend).name  # canonical, validated
+        spec = self.backend_spec
+        if keys is not None:
+            if not spec.keyed:
+                raise ConfigurationError(
+                    f"backend {spec.name!r} holds a single register and takes no "
+                    "key layout; use backend='sharded' for keyed workloads"
+                )
+            self._keys = normalize_keys(keys)
+        if n_writers is not None:
+            if not spec.multi_writer:
+                raise ConfigurationError(
+                    f"backend {spec.name!r} drives a single writer; "
+                    "n_writers needs backend='multi-writer'"
+                )
+            if n_writers < 1:
+                raise ConfigurationError("need at least one writer")
+            self._n_writers = n_writers
+
+    @property
+    def backend_spec(self) -> BackendSpec:
+        """The backend registry entry this cluster resolves to."""
+        return get_backend_spec(self._backend or self._spec.backend)
+
+    def _key_names(self) -> tuple[str, ...]:
+        """The key layout handed to the backend ('' tuple: single register)."""
+        if not self.backend_spec.keyed:
+            return ()
+        return self._keys if self._keys is not None else DEFAULT_SHARD_KEYS
+
+    def _writer_count(self) -> int:
+        """Writer family size (1 for single-writer backends)."""
+        if not self.backend_spec.multi_writer:
+            return 1
+        return self._n_writers if self._n_writers is not None else 2
 
     # ------------------------------------------------------------------ #
     # Fluent configuration
@@ -617,6 +753,25 @@ class Cluster:
         )
         return clone
 
+    def with_backend(
+        self,
+        backend: str | None = None,
+        *,
+        keys: int | Sequence[str] | None = None,
+        n_writers: int | None = None,
+    ) -> "Cluster":
+        """Select the system backend and its layout (keys, writer family).
+
+        ``with_backend("sharded", keys=8)`` turns the cluster into eight
+        named registers on the same physical objects;
+        ``with_backend("multi-writer", n_writers=3)`` drives a writer
+        family.  Omitting ``backend`` keeps the current one and adjusts
+        only the layout.
+        """
+        clone = self._clone()
+        clone._configure_backend(backend, keys, n_writers)
+        return clone
+
     def with_scenario(self, name: str) -> "Cluster":
         """Adopt a named scenario: its fault plan *and* workload shape."""
         scenario = get_scenario(name, self._t)
@@ -632,8 +787,14 @@ class Cluster:
         reads: float | None = None,
         spacing: int | None = None,
         operations: int | None = None,
+        key_skew: float | None = None,
     ) -> "Cluster":
-        """Shape the generated workload (read fraction, spacing, length)."""
+        """Shape the generated workload (read fraction, spacing, length, skew).
+
+        ``key_skew`` only matters for keyed backends: 0.0 spreads
+        operations uniformly over the keys, larger values concentrate them
+        on the first keys (hot shards).
+        """
         clone = self._clone()
         if reads is not None:
             if not 0.0 <= reads <= 1.0:
@@ -647,6 +808,10 @@ class Cluster:
             if operations < 1:
                 raise ConfigurationError("need at least one operation")
             clone._operations = operations
+        if key_skew is not None:
+            if key_skew < 0:
+                raise ConfigurationError("key_skew must be non-negative")
+            clone._key_skew = key_skew
         clone._explicit_plans = None
         return clone
 
@@ -656,18 +821,25 @@ class Cluster:
         """Use an explicit schedule instead of a generated workload.
 
         Accepts :class:`OperationPlan` entries or shorthand tuples:
-        ``("write", value, at)`` and ``("read", reader_index, at)``.
-        The same schedule is replayed in every trial.
+        ``("write", value, at)`` and ``("read", reader_index, at)``, each
+        with an optional trailing key for keyed backends —
+        ``("write", value, at, "k3")``.  The same schedule is replayed in
+        every trial.
         """
         plans: list[OperationPlan] = []
         readers = reader_ids(self._n_readers)
         for entry in operations:
             if not isinstance(entry, OperationPlan):
-                kind, arg, at = entry
+                kind, arg, at, *rest = entry
+                if len(rest) > 1:
+                    raise ConfigurationError(
+                        f"operation shorthand takes at most 4 elements, got {entry!r}"
+                    )
+                key = rest[0] if rest else None
                 if kind == "write":
-                    entry = OperationPlan(kind="write", client_index=1, value=arg, at=at)
+                    entry = OperationPlan(kind="write", client_index=1, value=arg, at=at, key=key)
                 elif kind == "read":
-                    entry = OperationPlan(kind="read", client_index=arg, value=None, at=at)
+                    entry = OperationPlan(kind="read", client_index=arg, value=None, at=at, key=key)
                 else:
                     raise ConfigurationError(f"operation kind must be read/write, got {kind!r}")
             if entry.kind == "read":
@@ -724,22 +896,38 @@ class Cluster:
         generator = WorkloadGenerator(
             seed=seed,
             n_readers=self._n_readers,
+            n_writers=self._writer_count(),
             read_fraction=self._read_fraction,
             spacing=self._spacing,
+            keys=self._key_names() or None,
+            key_skew=self._key_skew,
         )
         return generator.plan(self._operations)
 
-    def build_system(self) -> RegisterSystem:
-        """One configured :class:`RegisterSystem` — the low-level escape hatch."""
-        behaviors, _ = self._materialize_faults()
-        return RegisterSystem(
-            self._spec.build(n_readers=self._n_readers, **self._protocol_kwargs),
+    def _backend_request(self) -> BackendRequest:
+        return BackendRequest(
             t=self._t,
             S=self._S,
             n_readers=self._n_readers,
-            behaviors=behaviors,
+            n_writers=self._writer_count(),
+            keys=self._key_names(),
             allow_overfault=self._allow_overfault,
+            protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
         )
+
+    def build_backend(self) -> SystemBackend:
+        """One configured :class:`~repro.api.backends.SystemBackend`."""
+        behaviors, _ = self._materialize_faults()
+        return self.backend_spec.build(self._spec, self._backend_request(), behaviors)
+
+    def build_system(self) -> Any:
+        """The configured low-level system — the escape hatch.
+
+        Resolves the named backend and returns the harness it wraps: a
+        :class:`~repro.registers.base.RegisterSystem` for the default
+        backend, a multi-writer or sharded system otherwise.
+        """
+        return self.build_backend().system
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -769,6 +957,10 @@ class Cluster:
                 workload_seed=seed + index,
                 recorded_seed=None if explicit else seed + index,
                 keep_history=keep_history,
+                backend=self.backend_spec.name,
+                keys=self._key_names(),
+                n_writers=self._writer_count(),
+                key_skew=self._key_skew,
             )
             for index in range(trials)
         ]
@@ -785,23 +977,19 @@ class Cluster:
         if trials < 1:
             raise ConfigurationError("need at least one trial")
         behaviors, inventory = self._materialize_faults()
-        probe = RegisterSystem(
-            self._spec.build(n_readers=self._n_readers, **self._protocol_kwargs),
-            t=self._t,
-            S=self._S,
-            n_readers=self._n_readers,
-            behaviors=behaviors,
-            allow_overfault=self._allow_overfault,
-        )
+        probe = self.backend_spec.build(self._spec, self._backend_request(), behaviors)
         result = RunResult(
             protocol=self._spec.name,
             semantics=self._spec.semantics,
             t=self._t,
-            S=probe.ctx.S,
+            S=probe.S,
             n_readers=self._n_readers,
             scenario=self._scenario_label(),
             faults=inventory,
             checks=self._checks,
+            backend=self.backend_spec.name,
+            key_count=len(probe.keys),
+            n_writers=self._writer_count(),
         )
         return result, self._trial_specs(trials, seed, keep_history)
 
@@ -853,6 +1041,10 @@ def sweep(
     trials: int = 1,
     seed: int = 17,
     checks: Sequence[str] = (),
+    backend: str | None = None,
+    keys: int | Sequence[str] | None = None,
+    n_writers: int | None = None,
+    key_skew: float = 0.0,
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> SweepResult:
@@ -861,6 +1053,11 @@ def sweep(
     ``protocols`` defaults to the whole registry; ``scenarios`` defaults to
     each protocol's own advertised coverage (its ``scenarios`` metadata).
     The same seed is used for every grid cell so rows are comparable.
+
+    ``backend`` (with ``keys``/``n_writers``/``key_skew``) pins every cell
+    to one system backend; by default each protocol runs on its own
+    advertised backend, so mixed grids — SWMR registers next to MWMR
+    stacks — sweep side by side.
 
     With ``parallel=True`` the *entire grid's* trials — every protocol ×
     scenario × trial — are flattened into one process pool, so small cells
@@ -873,9 +1070,10 @@ def sweep(
         spec = get_spec(name)
         for scenario_name in scenarios if scenarios is not None else spec.scenarios:
             cluster = (
-                Cluster(name, t=t, n_readers=n_readers)
+                Cluster(name, t=t, n_readers=n_readers,
+                        backend=backend, keys=keys, n_writers=n_writers)
                 .with_scenario(scenario_name)
-                .with_workload(spacing=spacing, operations=operations)
+                .with_workload(spacing=spacing, operations=operations, key_skew=key_skew)
                 .check(*checks)
             )
             cells.append(cluster._prepare_run(trials, seed, keep_history=False))

@@ -62,6 +62,9 @@ class ProtocolSpec:
     needs_readers: bool = False
     aliases: tuple[str, ...] = ()
     description: str = ""
+    #: The system backend that runs this protocol when ``Cluster`` is not
+    #: given one explicitly (see :mod:`repro.api.backends`).
+    backend: str = "single"
 
     def build(self, n_readers: int = 2, **kwargs: Any) -> Any:
         """A fresh protocol instance (protocols are stateful — never share)."""
@@ -93,6 +96,7 @@ class ProtocolSpec:
             "scenarios": list(self.scenarios),
             "aliases": list(self.aliases),
             "description": self.description,
+            "backend": self.backend,
         }
 
 
@@ -119,6 +123,7 @@ def register_protocol(
     needs_readers: bool = False,
     aliases: tuple[str, ...] = (),
     description: str = "",
+    backend: str = "single",
     factory: Callable[..., Any] | None = None,
 ) -> Callable[[Any], Any]:
     """Register a protocol under ``name``; usable as a class decorator.
@@ -155,6 +160,7 @@ def register_protocol(
             needs_readers=needs_readers,
             aliases=tuple(aliases),
             description=description,
+            backend=backend,
         )
         for key in (name, *spec.aliases):
             if key in _PROTOCOLS or key in _ALIASES:

@@ -16,7 +16,10 @@ Implements the storage emulations the paper discusses:
 * :mod:`repro.registers.transform_atomic` — the SWMR regular → SWMR atomic
   transformation of [4, 20] that closes the paper's gap (2-round writes,
   4-round reads; 3-round reads over the token substrate);
-* :mod:`repro.registers.transform_mwmr` — SWMR → MWMR transformation;
+* :mod:`repro.registers.transform_mwmr` — SWMR → MWMR transformation (and
+  its registry face, the ``mwmr-*`` stacks the multi-writer backend runs);
+* :mod:`repro.registers.sharded` — keyspace-sharded composite: one SWMR
+  register per key multiplexed over the shared physical objects;
 * :mod:`repro.registers.strawman` — deliberately scalable-but-doomed
   protocols (2-round and 3-round reads) used as concrete victims of the
   lower-bound constructions.
@@ -53,7 +56,12 @@ from repro.registers.bounded_regular import BoundedRegularProtocol
 from repro.registers.secret_token import SecretTokenProtocol, TokenAuthority
 from repro.registers.lucky import LuckyAtomicProtocol
 from repro.registers.transform_atomic import RegularToAtomicProtocol
-from repro.registers.transform_mwmr import MultiWriterRegisterSystem
+from repro.registers.transform_mwmr import (
+    MultiWriterRegisterSystem,
+    MultiWriterStackProtocol,
+    NativeMultiWriterSystem,
+)
+from repro.registers.sharded import ShardedRegisterSystem
 from repro.registers.strawman import ThreeRoundReadProtocol, TwoRoundReadProtocol
 
 __all__ = [
@@ -70,6 +78,9 @@ __all__ = [
     "LuckyAtomicProtocol",
     "RegularToAtomicProtocol",
     "MultiWriterRegisterSystem",
+    "MultiWriterStackProtocol",
+    "NativeMultiWriterSystem",
+    "ShardedRegisterSystem",
     "TwoRoundReadProtocol",
     "ThreeRoundReadProtocol",
 ]

@@ -1,0 +1,188 @@
+"""Keyspace-sharded clusters: many named registers on one set of objects.
+
+The multiplex machinery of :mod:`repro.registers.multiplex` already lets any
+number of logical registers share the same ``S`` physical storage objects —
+the regular→atomic and SWMR→MWMR transformations rely on it.  This module
+turns that capability into a *workload* dimension: a
+:class:`ShardedRegisterSystem` hosts one independent SWMR register per key
+("shard"), each with its own protocol instance and its own writer, all
+flattened onto the shared physical objects through
+:class:`~repro.registers.multiplex.MultiplexObjectHandler`.
+
+Per-key semantics are exactly the underlying protocol's semantics: a fault
+threshold ``t`` is a property of the *physical* objects, so one Byzantine
+object is Byzantine for every shard at once — which is what makes sharded
+runs interesting as robustness experiments, not just as throughput ones.
+Consistency is therefore checked **per key** (each shard's history is an
+ordinary SWMR history) and aggregated by the harness.
+
+Round accounting is unchanged: each operation addresses one shard and uses
+exactly the substrate protocol's advertised rounds; shards add capacity,
+never latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.registers.base import ProtocolContext, RegisterProtocol, RegisterSystem, resolve_reader
+from repro.registers.multiplex import MultiplexObjectHandler, multiplex
+from repro.sim.network import DeliveryPolicy
+from repro.sim.process import FaultBehavior, ObjectServer
+from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
+from repro.sim.tracing import MessageTrace
+from repro.spec.history import History, HistoryRecorder
+from repro.types import BOTTOM, OperationId, ProcessId, object_ids, reader_ids
+
+
+class ShardedRegisterSystem:
+    """One SWMR register per key, multiplexed over shared physical objects.
+
+    Args:
+        protocol_factory: produces a fresh substrate protocol per key
+            (protocols are stateful — never shared between shards).
+        keys: shard names; each gets its own register and its own writer
+            (``ProcessId("writer", i)`` for the i-th key).
+        t: fault threshold of the *physical* objects (shared by all shards).
+        S: object count (defaults to the protocol's minimum for ``t``).
+        n_readers: reader population, shared across all shards.
+        behaviors: fault behaviours keyed by object id (see
+            :class:`~repro.registers.base.RegisterSystem`).
+    """
+
+    def __init__(
+        self,
+        protocol_factory: Callable[[], RegisterProtocol],
+        keys: Sequence[str],
+        t: int,
+        S: int | None = None,
+        n_readers: int = 2,
+        behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
+        policy: DeliveryPolicy | None = None,
+        allow_overfault: bool = False,
+    ) -> None:
+        keys = tuple(keys)
+        if not keys:
+            raise ConfigurationError("a sharded system needs at least one key")
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate shard keys: {sorted(keys)}")
+        for key in keys:
+            if not key or "/" in key:
+                raise ConfigurationError(f"invalid shard key {key!r} (empty or contains '/')")
+        self.keys = keys
+        self._protocols: dict[str, RegisterProtocol] = {
+            key: protocol_factory() for key in keys
+        }
+        sample = self._protocols[keys[0]]
+        if S is None:
+            S = RegisterSystem._default_size(sample, t)
+        sample.validate_configuration(S, t)
+        behaviors = dict(behaviors or {})
+        if len(behaviors) > t and not allow_overfault:
+            raise ConfigurationError(
+                f"{len(behaviors)} faulty objects exceed the threshold t={t}"
+            )
+        self.protocol = sample  # the substrate face: name + advertised rounds
+        self.ctx = ProtocolContext(S=S, t=t, objects=object_ids(S))
+        unknown = set(behaviors) - set(self.ctx.objects)
+        if unknown:
+            raise ConfigurationError(f"behaviours for unknown objects: {sorted(unknown)}")
+        # Object state is per *flattened* register name, so the handler to
+        # multiplex is the innermost one: composite substrates (the
+        # regular→atomic transform) already wrap theirs in a
+        # MultiplexObjectHandler, and the generator-side flattening
+        # path-joins nested names — unwrap rather than double-wrap.
+        handler_source = protocol_factory()
+        inner = handler_source.object_handler()
+        if isinstance(inner, MultiplexObjectHandler):
+            inner = inner.inner
+        self.servers = [
+            ObjectServer(
+                pid=pid,
+                handler=MultiplexObjectHandler(inner),
+                behavior=behaviors.get(pid),
+            )
+            for pid in self.ctx.objects
+        ]
+        self.recorder = HistoryRecorder()
+        self.trace = MessageTrace()
+        self.simulator = Simulator(
+            self.servers, policy=policy, history=self.recorder, trace=self.trace
+        )
+        self.writers: dict[str, ProcessId] = {
+            key: ProcessId("writer", index) for index, key in enumerate(keys, start=1)
+        }
+        self.readers = reader_ids(n_readers)
+        self._op_keys: dict[OperationId, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def _protocol_for(self, key: str) -> RegisterProtocol:
+        try:
+            return self._protocols[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown shard key {key!r}; configured keys: {', '.join(self.keys)}"
+            ) from None
+
+    def write(self, key: str, value: Any, at: int = 0) -> ClientOperation:
+        """Schedule a write of ``value`` into shard ``key`` by its writer."""
+        protocol = self._protocol_for(key)
+        if value == BOTTOM:
+            raise ConfigurationError("⊥ is reserved for the initial value and cannot be written")
+        inner = protocol.write_generator(self.ctx, value)
+
+        def generator() -> ProtocolGenerator:
+            results = yield from multiplex({key: inner})
+            return results[key]
+
+        operation = self.simulator.invoke(
+            self.writers[key], "write", generator(), at=at, declared_value=value
+        )
+        self._op_keys[operation.op_id] = key
+        return operation
+
+    def read(self, key: str, reader_index: int = 1, at: int = 0) -> ClientOperation:
+        """Schedule a read of shard ``key`` by reader ``r_{reader_index}``."""
+        protocol = self._protocol_for(key)
+        reader = resolve_reader(self.readers, reader_index)
+        inner = protocol.read_generator(self.ctx, reader)
+
+        def generator() -> ProtocolGenerator:
+            results = yield from multiplex({key: inner})
+            return results[key]
+
+        operation = self.simulator.invoke(reader, "read", generator(), at=at)
+        self._op_keys[operation.op_id] = key
+        return operation
+
+    def run(self) -> int:
+        """Run the simulation to quiescence; returns the event count."""
+        return self.simulator.run()
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def key_of(self, op_id: OperationId) -> str:
+        """The shard an operation addressed."""
+        return self._op_keys[op_id]
+
+    def history(self) -> History:
+        """The combined cross-shard history (drill-down view)."""
+        return self.recorder.freeze()
+
+    def histories(self) -> dict[str, History]:
+        """One per-key history; each is an ordinary SWMR history."""
+        combined = self.recorder.freeze()
+        per_key: dict[str, list] = {key: [] for key in self.keys}
+        for record in combined.records:
+            per_key[self._op_keys[record.op_id]].append(record)
+        return {key: History(records) for key, records in per_key.items()}
+
+    def max_rounds(self, kind: str) -> int:
+        """Worst-case rounds used by completed operations of ``kind``."""
+        return self.simulator.max_rounds_used(kind)

@@ -24,8 +24,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
+from repro.api.registry import register_protocol
 from repro.errors import ConfigurationError
-from repro.registers.base import ProtocolContext, RegisterProtocol
+from repro.registers.base import (
+    ProtocolContext,
+    RegisterProtocol,
+    RegisterSystem,
+    resolve_reader,
+)
 from repro.registers.multiplex import MultiplexObjectHandler, multiplex
 from repro.registers.timestamps import max_candidate
 from repro.registers.transform_atomic import RegularToAtomicProtocol
@@ -34,7 +40,16 @@ from repro.sim.process import FaultBehavior, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
 from repro.sim.tracing import MessageTrace
 from repro.spec.history import History, HistoryRecorder
-from repro.types import ProcessId, TaggedValue, Timestamp, object_ids, reader_id, writer_id
+from repro.types import (
+    BOTTOM,
+    ProcessId,
+    TaggedValue,
+    Timestamp,
+    object_ids,
+    reader_id,
+    reader_ids,
+    writer_id,
+)
 
 
 class MultiWriterRegisterSystem:
@@ -61,6 +76,7 @@ class MultiWriterRegisterSystem:
         n_readers: int = 2,
         behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
         policy: DeliveryPolicy | None = None,
+        allow_overfault: bool = False,
     ) -> None:
         if n_writers < 1:
             raise ConfigurationError("need at least one writer")
@@ -79,7 +95,7 @@ class MultiWriterRegisterSystem:
             for j in range(1, n_writers + 1)
         }
         behaviors = dict(behaviors or {})
-        if len(behaviors) > t:
+        if len(behaviors) > t and not allow_overfault:
             raise ConfigurationError(f"{len(behaviors)} faulty objects exceed t={t}")
         handler_source = substrate_factory()
         self.servers = [
@@ -136,6 +152,8 @@ class MultiWriterRegisterSystem:
 
     def write(self, writer_index: int, value: Any, at: int = 0) -> ClientOperation:
         """Schedule a multi-writer write of ``value`` by writer ``writer_index``."""
+        if value == BOTTOM:
+            raise ConfigurationError("⊥ is reserved for the initial value and cannot be written")
         writer_pid = self._writer_pid(writer_index)  # validates the index
         persona = self._writer_persona(writer_index)
         scan = self._scan_generator(persona)
@@ -164,10 +182,183 @@ class MultiWriterRegisterSystem:
 
         return self.simulator.invoke(reader_id(1000 + reader_index), "read", generator(), at=at)
 
-    def run(self) -> None:
-        """Run the simulation to quiescence."""
-        self.simulator.run()
+    def run(self) -> int:
+        """Run the simulation to quiescence; returns the event count."""
+        return self.simulator.run()
 
     def history(self) -> History:
         """The recorded multi-writer history (check with ``is_linearizable``)."""
         return self.recorder.freeze()
+
+
+class NativeMultiWriterSystem:
+    """Multi-writer harness over a *natively* MWMR register protocol.
+
+    Some protocols (classical multi-writer ABD) are multi-writer by
+    construction: one shared object state, per-writer operation generators
+    exposed as ``write_generator_for(ctx, writer_index, value)``.  This
+    harness gives them the same writer-family surface as
+    :class:`MultiWriterRegisterSystem` so the multi-writer backend can run
+    either kind interchangeably.
+    """
+
+    def __init__(
+        self,
+        protocol: RegisterProtocol,
+        t: int,
+        S: int | None = None,
+        n_writers: int = 2,
+        n_readers: int = 2,
+        behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
+        policy: DeliveryPolicy | None = None,
+        allow_overfault: bool = False,
+    ) -> None:
+        if n_writers < 1:
+            raise ConfigurationError("need at least one writer")
+        if not hasattr(protocol, "write_generator_for"):
+            raise ConfigurationError(
+                f"{protocol.name} is not a native multi-writer protocol "
+                "(no write_generator_for)"
+            )
+        if S is None:
+            S = RegisterSystem._default_size(protocol, t)
+        protocol.validate_configuration(S, t)
+        behaviors = dict(behaviors or {})
+        if len(behaviors) > t and not allow_overfault:
+            raise ConfigurationError(f"{len(behaviors)} faulty objects exceed t={t}")
+        self.protocol = protocol
+        self.ctx = ProtocolContext(S=S, t=t, objects=object_ids(S))
+        unknown = set(behaviors) - set(self.ctx.objects)
+        if unknown:
+            raise ConfigurationError(f"behaviours for unknown objects: {sorted(unknown)}")
+        self.n_writers = n_writers
+        self.n_readers = n_readers
+        self.servers = [
+            ObjectServer(pid=pid, handler=protocol.object_handler(), behavior=behaviors.get(pid))
+            for pid in self.ctx.objects
+        ]
+        self.recorder = HistoryRecorder()
+        self.trace = MessageTrace()
+        self.simulator = Simulator(
+            self.servers, policy=policy, history=self.recorder, trace=self.trace
+        )
+        self.readers = reader_ids(n_readers)
+        self.write_rounds = protocol.write_rounds
+        self.read_rounds = protocol.read_rounds
+
+    def write(self, writer_index: int, value: Any, at: int = 0) -> ClientOperation:
+        """Schedule a write of ``value`` by writer ``writer_index``."""
+        if value == BOTTOM:
+            raise ConfigurationError("⊥ is reserved for the initial value and cannot be written")
+        if not 1 <= writer_index <= self.n_writers:
+            raise ConfigurationError(f"writer index {writer_index} out of range")
+        generator = self.protocol.write_generator_for(self.ctx, writer_index, value)
+        return self.simulator.invoke(
+            ProcessId("writer", writer_index), "write", generator, at=at, declared_value=value
+        )
+
+    def read(self, reader_index: int = 1, at: int = 0) -> ClientOperation:
+        """Schedule a read by reader ``r_{reader_index}``."""
+        reader = resolve_reader(self.readers, reader_index)
+        generator = self.protocol.read_generator(self.ctx, reader)
+        return self.simulator.invoke(reader, "read", generator, at=at)
+
+    def run(self) -> int:
+        """Run the simulation to quiescence; returns the event count."""
+        return self.simulator.run()
+
+    def history(self) -> History:
+        """The recorded multi-writer history."""
+        return self.recorder.freeze()
+
+
+# --------------------------------------------------------------------- #
+# Registry face of the transformation
+# --------------------------------------------------------------------- #
+
+
+class MultiWriterStackProtocol(RegisterProtocol):
+    """Registry entry for the SWMR→MWMR stack: metadata plus the substrate.
+
+    The transformation is a whole *system* (one SWMR atomic register per
+    writer, a shared writer family), not a drop-in
+    :class:`~repro.registers.base.RegisterProtocol` — so this class carries
+    the substrate factory and the round accounting for the registry and the
+    multi-writer backend, and refuses to produce single-register generators:
+    running it requires ``backend="multi-writer"``.
+    """
+
+    def __init__(self, name: str, substrate_factory: Callable[[], RegisterProtocol]) -> None:
+        self.name = name
+        self.substrate_factory = substrate_factory
+        sample = RegularToAtomicProtocol(substrate_factory, n_readers=1)
+        # Section 5 accounting over a substrate with r-round reads and
+        # w-round writes: MWMR reads cost r + w, MWMR writes (r + w) + w.
+        self.read_rounds = sample.read_rounds
+        self.write_rounds = sample.read_rounds + sample.write_rounds
+
+    def validate_configuration(self, S: int, t: int) -> None:
+        self.substrate_factory().validate_configuration(S, t)
+
+    def _not_single_register(self) -> ConfigurationError:
+        return ConfigurationError(
+            f"{self.name} is a multi-writer stack; run it through the "
+            "multi-writer backend (Cluster resolves it automatically)"
+        )
+
+    def object_handler(self):
+        raise self._not_single_register()
+
+    def write_generator(self, ctx: ProtocolContext, value: Any) -> ProtocolGenerator:
+        raise self._not_single_register()
+
+    def read_generator(self, ctx: ProtocolContext, reader: ProcessId) -> ProtocolGenerator:
+        raise self._not_single_register()
+
+
+def _mwmr_over_fast_regular() -> MultiWriterStackProtocol:
+    from repro.registers.fast_regular import FastRegularProtocol
+
+    return MultiWriterStackProtocol(
+        "mwmr-fast-regular", lambda: FastRegularProtocol("replay")
+    )
+
+
+def _mwmr_over_secret_token() -> MultiWriterStackProtocol:
+    from repro.registers.secret_token import SecretTokenProtocol
+
+    return MultiWriterStackProtocol("mwmr-secret-token", lambda: SecretTokenProtocol())
+
+
+register_protocol(
+    "mwmr-fast-regular",
+    model="byzantine",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    write_rounds=6,  # (r + w) + w = (2 + 2) + 2 over the GV06 substrate
+    read_rounds=4,  # r + w = 2 + 2
+    scenarios=("fault-free", "crash", "silent", "replay"),
+    backend="multi-writer",
+    aliases=("mwmr(fast-regular)",),
+    description=(
+        "SWMR→MWMR over atomic-fast-regular — the paper's closing stack "
+        "(4-round reads, 6-round writes)"
+    ),
+    factory=_mwmr_over_fast_regular,
+)
+
+register_protocol(
+    "mwmr-secret-token",
+    model="secret-token",
+    semantics="atomic",
+    resilience="S ≥ 3t + 1",
+    min_size=lambda t: 3 * t + 1,
+    write_rounds=5,  # (r + w) + w = (1 + 2) + 2 over the token substrate
+    read_rounds=3,  # r + w = 1 + 2
+    scenarios=("fault-free", "silent", "replay", "fabricate"),
+    backend="multi-writer",
+    aliases=("mwmr(secret-token)",),
+    description="SWMR→MWMR over atomic-secret-token (3-round reads, 5-round writes)",
+    factory=_mwmr_over_secret_token,
+)

@@ -10,7 +10,7 @@ executions.
 """
 
 from repro.spec.history import History, HistoryRecorder, OperationRecord
-from repro.spec.atomicity import AtomicityVerdict, check_swmr_atomicity
+from repro.spec.atomicity import AtomicityVerdict, check_atomicity, check_swmr_atomicity
 from repro.spec.regularity import check_swmr_regularity
 from repro.spec.safety import check_swmr_safety
 from repro.spec.linearizability import is_linearizable
@@ -20,6 +20,7 @@ __all__ = [
     "HistoryRecorder",
     "OperationRecord",
     "AtomicityVerdict",
+    "check_atomicity",
     "check_swmr_atomicity",
     "check_swmr_regularity",
     "check_swmr_safety",

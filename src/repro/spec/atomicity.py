@@ -179,6 +179,27 @@ def check_swmr_atomicity(history: History) -> AtomicityVerdict:
     return AtomicityVerdict(ok=True, assignment=assigned)
 
 
+def check_atomicity(history: History) -> AtomicityVerdict:
+    """Atomicity for any writer population, dispatching on the history.
+
+    Single-writer histories go through the paper's four-property SWMR
+    checker unchanged.  Multi-writer histories — the SWMR→MWMR
+    transformation, native multi-writer protocols, and the combined view of
+    sharded composites — fall back to the general linearizability search,
+    which *is* the atomicity definition once the single-writer structure is
+    gone (for read/write registers the two notions coincide).
+    """
+    if history.single_writer():
+        return check_swmr_atomicity(history)
+    from repro.spec.linearizability import is_linearizable
+
+    ok = is_linearizable(history)
+    return AtomicityVerdict(
+        ok=ok,
+        explanation="" if ok else "no linearization of the multi-writer history exists",
+    )
+
+
 def _linear_extension_key(read: OperationRecord) -> tuple[int, int]:
     """Sort key giving a linear extension of precedence among complete reads.
 

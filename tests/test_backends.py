@@ -1,0 +1,306 @@
+"""Tests for the system-backend registry and the three built-in backends."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    Cluster,
+    available_backends,
+    backend_specs,
+    get_backend_spec,
+    get_spec,
+)
+from repro.errors import ConfigurationError
+from repro.registers.base import RegisterSystem
+from repro.registers.sharded import ShardedRegisterSystem
+from repro.registers.transform_mwmr import (
+    MultiWriterRegisterSystem,
+    NativeMultiWriterSystem,
+)
+
+
+def _payload(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert set(available_backends()) >= {"single", "multi-writer", "sharded"}
+
+    def test_aliases_resolve(self):
+        assert get_backend_spec("mwmr") is get_backend_spec("multi-writer")
+        assert get_backend_spec("swmr") is get_backend_spec("single")
+
+    def test_unknown_backend_rejected_with_listing(self):
+        with pytest.raises(ConfigurationError, match="sharded"):
+            get_backend_spec("raft")
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            Cluster("abd", backend="paxos")
+
+    def test_metadata_is_serializable(self):
+        for spec in backend_specs():
+            payload = json.dumps(spec.to_dict())
+            assert spec.name in payload
+
+    def test_protocols_advertise_their_backend(self):
+        assert get_spec("abd").backend == "single"
+        assert get_spec("mwmr-fast-regular").backend == "multi-writer"
+        assert get_spec("mwmr-secret-token").backend == "multi-writer"
+
+
+class TestDefaultBackendEquivalence:
+    def test_explicit_single_equals_default(self):
+        base = Cluster("abd", t=1).check("atomicity").run(trials=2, seed=4, keep_history=False)
+        explicit = (
+            Cluster("abd", t=1, backend="single")
+            .check("atomicity")
+            .run(trials=2, seed=4, keep_history=False)
+        )
+        assert _payload(base) == _payload(explicit)
+
+    def test_default_to_dict_carries_no_backend_metadata(self):
+        payload = Cluster("abd").run(seed=0).to_dict()
+        assert "backend" not in payload and "keys" not in payload
+
+    def test_build_system_returns_the_wrapped_harness(self):
+        assert isinstance(Cluster("abd").build_system(), RegisterSystem)
+        assert isinstance(
+            Cluster("mwmr-fast-regular").build_system(), MultiWriterRegisterSystem
+        )
+        assert isinstance(
+            Cluster("mw-abd", backend="multi-writer").build_system(),
+            NativeMultiWriterSystem,
+        )
+        assert isinstance(
+            Cluster("abd", backend="sharded", keys=3).build_system(),
+            ShardedRegisterSystem,
+        )
+
+
+class TestBackendValidation:
+    def test_mwmr_stack_rejected_on_single_backend(self):
+        with pytest.raises(ConfigurationError, match="multi-writer"):
+            Cluster("mwmr-fast-regular", backend="single").run(seed=0)
+
+    def test_single_writer_protocol_rejected_on_multi_writer_backend(self):
+        with pytest.raises(ConfigurationError, match="single-writer"):
+            Cluster("fast-regular", backend="multi-writer").run(seed=0)
+
+    def test_keys_need_a_keyed_backend(self):
+        with pytest.raises(ConfigurationError, match="sharded"):
+            Cluster("abd", keys=4)
+        with pytest.raises(ConfigurationError, match="sharded"):
+            Cluster("mwmr-fast-regular", keys=4)
+
+    def test_n_writers_needs_a_multi_writer_backend(self):
+        with pytest.raises(ConfigurationError, match="multi-writer"):
+            Cluster("abd", n_writers=3)
+
+    def test_key_layout_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one key"):
+            Cluster("abd", backend="sharded", keys=0)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Cluster("abd", backend="sharded", keys=("a", "a"))
+        with pytest.raises(ConfigurationError, match="'/'"):
+            Cluster("abd", backend="sharded", keys=("a/b",))
+
+
+class TestMultiWriterBackend:
+    def test_mwmr_stack_runs_checks_and_accounts_rounds(self):
+        result = (
+            Cluster("mwmr-fast-regular", t=1, n_readers=2, n_writers=3)
+            .with_workload(operations=8, spacing=100)
+            .check("atomicity", "linearizability")
+            .run(trials=2, seed=6, keep_history=False)
+        )
+        assert result.ok
+        # Section 5 accounting: reads r + w = 4, writes (r + w) + w = 6.
+        assert result.worst_read == 4
+        assert result.worst_write == 6
+        payload = result.to_dict()
+        assert payload["backend"] == "multi-writer"
+        assert payload["writers"] == 3
+
+    def test_advertised_rounds_match_measured(self):
+        spec = get_spec("mwmr-fast-regular")
+        result = (
+            Cluster(spec.name, t=1)
+            .with_workload(operations=6, spacing=120, reads=0.5)
+            .run(trials=1, seed=3)
+        )
+        assert result.worst_write == spec.write_rounds
+        assert result.worst_read == spec.read_rounds
+
+    def test_multiple_writers_actually_write(self):
+        result = (
+            Cluster("mwmr-fast-regular", t=1, n_writers=3)
+            .with_workload(operations=12, spacing=90, reads=0.3)
+            .run(trials=1, seed=1)
+        )
+        writers = {
+            record.client
+            for record in result.trials[0].history.records
+            if record.kind == "write"
+        }
+        assert len(writers) > 1
+
+    def test_native_mw_abd_through_the_backend(self):
+        result = (
+            Cluster("mw-abd", t=1, backend="multi-writer", n_writers=3)
+            .with_workload(operations=10, spacing=80)
+            .check("atomicity", "linearizability")
+            .run(trials=2, seed=9, keep_history=False)
+        )
+        assert result.ok
+        assert result.worst_write == 2 and result.worst_read == 2
+
+    def test_mwmr_survives_stale_echo(self):
+        result = (
+            Cluster("mwmr-fast-regular", t=1)
+            .with_faults("stale-echo", count=1)
+            .with_workload(operations=8, spacing=100)
+            .check("atomicity")
+            .run(trials=2, seed=2, keep_history=False)
+        )
+        assert result.ok
+        assert result.faults.effective == 1
+
+
+class TestShardedBackend:
+    def test_runs_and_checks_per_key(self):
+        result = (
+            Cluster("abd", t=1, backend="sharded", keys=4)
+            .with_workload(operations=16, spacing=40)
+            .check("atomicity")
+            .run(trials=2, seed=8, keep_history=False)
+        )
+        assert result.ok
+        verdict = result.trials[0].checks["atomicity"]
+        assert verdict.per_key == {"k1": True, "k2": True, "k3": True, "k4": True}
+        assert verdict.to_dict()["per_key"]["k1"] is True
+        payload = result.to_dict()
+        assert payload["backend"] == "sharded" and payload["keys"] == 4
+
+    def test_shards_add_capacity_not_latency(self):
+        # Per-shard rounds are the substrate's own: ABD stays 1W/2R.
+        result = (
+            Cluster("abd", t=1, backend="sharded", keys=6)
+            .with_workload(operations=18, spacing=50)
+            .run(trials=1, seed=5)
+        )
+        assert result.worst_write == 1 and result.worst_read == 2
+
+    def test_named_keys_and_explicit_plans(self):
+        result = (
+            Cluster("abd", backend="sharded", keys=("users", "orders"))
+            .with_operations([
+                ("write", "alice", 0, "users"),
+                ("write", "o-1", 0, "orders"),
+                ("read", 1, 60, "users"),
+                ("read", 2, 60, "orders"),
+            ])
+            .check("atomicity")
+            .run(trials=1, seed=0)
+        )
+        assert result.ok
+        verdict = result.trials[0].checks["atomicity"]
+        assert set(verdict.per_key) == {"users", "orders"}
+        reads = [r for r in result.trials[0].history.records if r.kind == "read"]
+        assert sorted(r.value for r in reads) == ["alice", "o-1"]
+
+    def test_sharded_over_composite_protocol(self):
+        # Nested multiplexing: each shard is itself a regular→atomic stack.
+        result = (
+            Cluster("atomic-fast-regular", t=1, backend="sharded", keys=2)
+            .with_faults("stale-echo", count=1)
+            .with_workload(operations=8, spacing=80)
+            .check("atomicity")
+            .run(trials=1, seed=4)
+        )
+        assert result.ok
+        assert result.worst_write == 2 and result.worst_read == 4
+
+    def test_sharded_failure_names_the_key(self):
+        # One fabricating object defeats ABD on whichever shards it hits.
+        # The stock fabricator inflates flat payloads only, so give it a
+        # multiplex-aware one that forges every shard's inner reply.
+        from repro.faults.byzantine import _inflate_timestamps
+
+        def inflate_nested(message, honest):
+            calls = honest.get("calls")
+            if isinstance(calls, dict):
+                return {"calls": {
+                    name: _inflate_timestamps(message, reply)
+                    for name, reply in calls.items()
+                }}
+            return _inflate_timestamps(message, honest)
+
+        result = (
+            Cluster("abd", t=1, backend="sharded", keys=2)
+            .with_faults("fabricating", fabricate=inflate_nested)
+            .with_workload(operations=16, spacing=20)
+            .check("atomicity")
+            .run(trials=4, seed=2, keep_history=False)
+        )
+        failures = [v for _, v in result.failures()]
+        assert failures  # the adversary actually bites
+        assert any("[k" in v.explanation for v in failures)
+        for verdict in failures:
+            assert verdict.per_key is not None and not all(verdict.per_key.values())
+
+    def test_plan_without_key_rejected(self):
+        cluster = Cluster("abd", backend="sharded", keys=2).with_operations(
+            [("write", "x", 0)]
+        )
+        with pytest.raises(ConfigurationError, match="key"):
+            cluster.run(seed=0)
+
+    def test_keyed_plan_rejected_on_single_backend(self):
+        cluster = Cluster("abd").with_operations([("write", "x", 0, "k1")])
+        with pytest.raises(ConfigurationError, match="sharded"):
+            cluster.run(seed=0)
+
+
+class TestShardedSystemDirectly:
+    def test_histories_partition_the_combined_history(self):
+        from repro.registers.abd import AbdProtocol
+
+        system = ShardedRegisterSystem(AbdProtocol, keys=("a", "b"), t=1, n_readers=2)
+        system.write("a", "x", at=0)
+        system.write("b", "y", at=0)
+        system.read("a", 1, at=60)
+        system.read("b", 2, at=60)
+        system.run()
+        per_key = system.histories()
+        assert {len(h.records) for h in per_key.values()} == {2}
+        total = sum(len(h.records) for h in per_key.values())
+        assert total == len(system.history().records)
+        assert per_key["a"].reads()[0].value == "x"
+        assert per_key["b"].reads()[0].value == "y"
+
+    def test_each_shard_has_its_own_writer(self):
+        from repro.registers.abd import AbdProtocol
+
+        system = ShardedRegisterSystem(AbdProtocol, keys=("a", "b"), t=1)
+        # Concurrent writes to different shards are legal (distinct writers)…
+        system.write("a", "x", at=0)
+        system.write("b", "y", at=0)
+        system.run()
+        clients = {r.client for r in system.history().records}
+        assert len(clients) == 2
+
+    def test_unknown_key_rejected(self):
+        from repro.registers.abd import AbdProtocol
+
+        system = ShardedRegisterSystem(AbdProtocol, keys=("a",), t=1)
+        with pytest.raises(ConfigurationError, match="unknown shard"):
+            system.write("z", "x")
+
+    def test_bottom_not_writable(self):
+        from repro.registers.abd import AbdProtocol
+        from repro.types import BOTTOM
+
+        system = ShardedRegisterSystem(AbdProtocol, keys=("a",), t=1)
+        with pytest.raises(ConfigurationError, match="reserved"):
+            system.write("a", BOTTOM)

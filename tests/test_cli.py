@@ -43,9 +43,25 @@ class TestRegistryCli:
     def test_list_protocols(self, capsys):
         assert main(["list-protocols"]) == 0
         out = capsys.readouterr().out
-        for name in ("abd", "fast-regular", "atomic-fast-regular", "secret-token"):
+        for name in ("abd", "fast-regular", "atomic-fast-regular", "secret-token",
+                     "mwmr-fast-regular"):
             assert name in out
         assert "S ≥ 3t + 1" in out
+        assert "multi-writer" in out  # the backend column
+
+    def test_list_backends(self, capsys):
+        assert main(["list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("single", "multi-writer", "sharded"):
+            assert name in out
+        assert "mwmr" in out  # aliases are shown
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fault-free", "crash", "silent", "replay", "fabricate"):
+            assert name in out
+        assert "replay×2" in out  # plans sized for the requested threshold
 
     def test_run_fault_free(self, capsys):
         assert main(["run", "--protocol", "abd"]) == 0
@@ -84,6 +100,27 @@ class TestRegistryCli:
             "--parallel", "--workers", "2",
         ]) == 0
         assert "all 2 trials complete" in capsys.readouterr().out
+
+    def test_run_sharded_backend(self, capsys):
+        assert main([
+            "run", "--protocol", "abd", "--backend", "sharded",
+            "--keys", "4", "--key-skew", "1.0", "--trials", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=sharded (4 key(s)" in out
+        assert "all 2 trials complete" in out
+
+    def test_run_mwmr_protocol_resolves_backend(self, capsys):
+        assert main([
+            "run", "--protocol", "mwmr-fast-regular", "--writers", "3",
+            "--trials", "1", "--ops", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=multi-writer" in out and "3 writer(s)" in out
+
+    def test_run_keys_without_keyed_backend_exits_2(self, capsys):
+        assert main(["run", "--protocol", "abd", "--keys", "4"]) == 2
+        assert "sharded" in capsys.readouterr().err
 
 
 class TestJsonlAndCompare:
@@ -129,6 +166,33 @@ class TestJsonlAndCompare:
         capsys.readouterr()
         assert main(["compare", str(b), str(a)]) == 0
         assert "improvements" in capsys.readouterr().out
+
+    def test_compare_never_matches_across_backends(self, tmp_path, capsys):
+        # Same protocol/scenario/sizes, different backend + key layout:
+        # the rows must not be compared as like-for-like.
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._emit(a, seed=3)
+        assert main([
+            "run", "--protocol", "abd", "--backend", "sharded", "--keys", "4",
+            "--trials", "2", "--seed", "3", "--spacing", "50", "--jsonl", str(b),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "compared 0 run(s)" in out
+        assert "only in" in out
+
+    def test_compare_matches_same_backend_rows(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main([
+                "run", "--protocol", "abd", "--backend", "sharded", "--keys", "4",
+                "--trials", "2", "--seed", "3", "--jsonl", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "compared 1 run(s)" in out and "no regressions detected" in out
 
     def test_compare_reports_unmatched_runs(self, tmp_path, capsys):
         a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"

@@ -23,6 +23,20 @@ EQUIVALENCE_GRID = [
     ("fast-regular", "replay"),
     ("secret-token", "replay"),
     ("atomic-fast-regular", "fault-free"),
+    # mwmr-* advertises backend="multi-writer", so this cell auto-resolves
+    # to the MWMR system yet sweeps through the same TrialSpec/run_trial
+    # path; mw-abd stays on its default single backend here (the explicit
+    # multi-writer route is covered by BACKEND_GRID below).
+    ("mwmr-fast-regular", "replay"),
+    ("mw-abd", "crash"),
+]
+
+#: Backend-pinned cells: (protocol, backend kwargs) for keyed/writer layouts.
+BACKEND_GRID = [
+    ("abd", dict(backend="sharded", keys=4)),
+    ("fast-regular", dict(backend="sharded", keys=3)),
+    ("mwmr-fast-regular", dict(n_writers=3)),
+    ("mw-abd", dict(backend="multi-writer", n_writers=2)),
 ]
 
 
@@ -92,6 +106,19 @@ class TestSerialParallelEquivalence:
         assert _payload(serial) == _payload(parallel)
         assert serial.failures()  # the scenario actually produces failures
 
+    @pytest.mark.parametrize("protocol,backend_kwargs", BACKEND_GRID)
+    def test_backend_runs_byte_identical(self, protocol, backend_kwargs):
+        cluster = (
+            Cluster(protocol, t=1, n_readers=2, **backend_kwargs)
+            .with_workload(operations=8, spacing=60, key_skew=0.8)
+            .check("atomicity")
+        )
+        serial = cluster.run(trials=3, seed=14, keep_history=False)
+        parallel = cluster.run(
+            trials=3, seed=14, keep_history=False, parallel=True, max_workers=2
+        )
+        assert _payload(serial) == _payload(parallel)
+
     def test_sweep_byte_identical_and_flattened(self):
         kwargs = dict(t=1, operations=6, trials=2, checks=("regularity",))
         serial = sweep(["abd", "secret-token"], **kwargs)
@@ -99,6 +126,30 @@ class TestSerialParallelEquivalence:
         assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
             parallel.to_dict(), sort_keys=True
         )
+
+    def test_sharded_sweep_byte_identical(self):
+        kwargs = dict(
+            t=1, operations=8, trials=2, checks=("atomicity",),
+            backend="sharded", keys=3, key_skew=1.0, scenarios=("fault-free", "crash"),
+        )
+        serial = sweep(["abd", "fast-regular"], **kwargs)
+        parallel = sweep(["abd", "fast-regular"], parallel=True, max_workers=2, **kwargs)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+        for run in serial.runs:
+            assert run.backend == "sharded" and run.key_count == 3
+
+    def test_mixed_registry_sweep_resolves_backends_per_protocol(self):
+        result = sweep(
+            ["abd", "mwmr-fast-regular"],
+            t=1, operations=6, trials=1, scenarios=("fault-free",),
+            checks=("atomicity",), parallel=True, max_workers=2,
+        )
+        by_name = {run.protocol: run for run in result.runs}
+        assert by_name["abd"].backend == "single"
+        assert by_name["mwmr-fast-regular"].backend == "multi-writer"
+        assert all(run.ok for run in result.runs)
 
     def test_histories_survive_the_process_boundary(self):
         result = Cluster("abd").check("atomicity").run(
