@@ -16,7 +16,12 @@ trajectory to beat.  Four meters:
   ``parallel=True``, asserting byte-identical ``to_dict()`` output;
 * **sharded** — events/sec of the keyspace-sharded backend over a
   keys × protocol grid (skewed keyed workloads through the multiplexed
-  object handlers), asserting per-key atomicity on every cell.
+  object handlers), asserting per-key atomicity on every cell;
+* **explore** — schedules/sec of the bounded schedule explorer: one
+  certification sweep (a clean configuration over its full bounded
+  schedule space) and one refutation sweep (an under-provisioned
+  fast-read stack whose known atomicity violation the run *asserts* is
+  found, minimized, and replayed byte-identically).
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -52,7 +57,7 @@ from repro.types import ProcessId, fresh_operation_id, reader_id
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -282,6 +287,74 @@ def bench_sharded(quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Schedule explorer: schedules/sec, certification + refutation
+# --------------------------------------------------------------------- #
+
+
+def bench_explore(quick: bool) -> dict:
+    """Schedules/sec of the bounded model checker over two sweeps.
+
+    The certification cell sweeps a clean fast-regular configuration to
+    exhaustion; the refutation cell sweeps the under-provisioned fast-read
+    stack (t=1 provisioning, two stale-echo objects) and *asserts* that the
+    known stale-read violation is found, minimized to a single held link,
+    and replayed byte-identically — so CI fails on an explorer-correctness
+    regression, never on timing.
+    """
+    granularity = "operation" if quick else "round"
+    certify_cluster = (
+        Cluster("fast-regular", t=1)
+        .with_operations([("write", "v1", 0), ("read", 1, 120), ("read", 2, 240)])
+    )
+    started = time.perf_counter()
+    certified = certify_cluster.explore(max_holds=2, granularity=granularity)
+    certify_seconds = time.perf_counter() - started
+    assert certified.certified, (
+        f"fault-free fast-regular failed certification: "
+        f"{[w.describe() for w in certified.witnesses]}"
+    )
+
+    refute_cluster = (
+        Cluster("atomic-fast-regular", t=1, S=4, allow_overfault=True)
+        .with_faults("stale-echo", count=2)
+        .with_operations([("write", "v1", 0), ("read", 1, 100)])
+        .check("atomicity")
+    )
+    started = time.perf_counter()
+    refuted = refute_cluster.explore(max_holds=2)
+    refute_seconds = time.perf_counter() - started
+    # Correctness gates: the violation must be found, minimal, and replayable.
+    assert refuted.violations >= 1, "known violation not found"
+    witness = refuted.witnesses[0]
+    assert len(witness.decisions) == 1, "witness not minimized to one held link"
+    assert witness.reproduces(), "witness replay diverged"
+
+    schedules = certified.stats.explored + refuted.stats.explored
+    seconds = certify_seconds + refute_seconds
+    return {
+        "granularity_certify": granularity,
+        "certify": {
+            "schedules": certified.stats.explored,
+            "alphabet": certified.alphabet,
+            "pruned": certified.stats.pruned_duplicate + certified.stats.pruned_seen
+                      + certified.stats.pruned_inactive,
+            "seconds": round(certify_seconds, 4),
+            "certified": True,  # asserted above
+        },
+        "refute": {
+            "schedules": refuted.stats.explored,
+            "violations": refuted.violations,
+            "minimization_runs": refuted.stats.minimization_runs,
+            "seconds": round(refute_seconds, 4),
+            "witness_replays": True,  # asserted above
+        },
+        "schedules": schedules,
+        "seconds": round(seconds, 4),
+        "schedules_per_sec": round(schedules / seconds, 1),
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -297,6 +370,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "checker": bench_checker(quick),
         "sweep": bench_sweep(quick, trials=trials, workers=workers),
         "sharded": bench_sharded(quick),
+        "explore": bench_explore(quick),
     }
     return report
 
@@ -332,6 +406,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"sharded   : {sharded['events_per_sec']:>10,} events/sec over "
           f"{len(sharded['grid'])} cells (keys {sharded['key_counts']}, "
           f"per-key atomicity asserted)")
+    explore = report["explore"]
+    print(f"explore   : {explore['schedules_per_sec']:>10,} schedules/sec "
+          f"({explore['schedules']} schedules: {explore['certify']['schedules']} "
+          f"certified, {explore['refute']['schedules']} refuting with "
+          f"{explore['refute']['violations']} violation(s); witness replay asserted)")
     print(f"[saved to {args.output}]")
     return 0
 

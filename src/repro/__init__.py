@@ -35,6 +35,10 @@ Public surface overview
 
 * ``repro.api`` — the facade: protocol / fault registries, the ``Cluster``
   builder, ``RunResult`` / ``SweepResult``.
+* ``repro.explore`` — the bounded model checker over delivery schedules:
+  ``Cluster.explore()`` / ``python -m repro explore`` certify a
+  configuration over every bounded held-message schedule or refute it
+  with a minimized, replayable ``ScheduleWitness``.
 * ``repro.registers`` — the protocol suite (ABD, GV06-style fast regular,
   bounded regular, secret-token regular, regular→atomic and SWMR→MWMR
   transformations, strawmen) and the :class:`RegisterSystem` harness.

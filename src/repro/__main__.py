@@ -24,6 +24,18 @@ Commands:
   round-count / latency / completion regressions (exit 1 when B regressed).
   Rows are matched on protocol, scenario, sizes *and* backend/key layout,
   so runs from different backends are never compared as like-for-like.
+* ``explore`` --protocol NAME [--max-holds N] [--strategy bfs|dfs]
+  [--granularity operation|round] [--witness PATH] [--expect-violation] … —
+  bounded model check over held-message schedules: certify the
+  configuration over every bounded schedule or refute it with a minimized,
+  replayable witness (exit 1 on violations, inverted by
+  ``--expect-violation``).
+* ``replay`` WITNESS.json — re-execute a saved schedule witness and
+  re-check it; exit 0 iff the recorded violation reproduces byte-identically
+  (same failed checks, same wire-trace fingerprint).
+
+``run --trace PATH`` additionally dumps every trial's message trace as
+JSONL (one ``TraceEvent`` per line) for offline inspection.
 
 Everything runs in seconds on a laptop; nothing touches the network.
 """
@@ -175,10 +187,13 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    import json
+def _cluster_from_args(args: argparse.Namespace):
+    """The :class:`~repro.api.Cluster` both ``run`` and ``explore`` build.
 
-    from repro.api import Cluster, get_spec
+    Flags one subcommand lacks (``--scenario``, ``--allow-overfault``,
+    ``--key-skew``) fall back to their no-op defaults via ``getattr``.
+    """
+    from repro.api import Cluster
     from repro.errors import ConfigurationError
 
     cluster = Cluster(
@@ -189,18 +204,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         keys=args.keys,
         n_writers=args.writers_count,
+        allow_overfault=getattr(args, "allow_overfault", False),
     )
+    if getattr(args, "scenario", None):
+        cluster = cluster.with_scenario(args.scenario)
     if args.faults:
         cluster = cluster.with_faults(args.faults, count=args.count, strict=args.strict)
     elif args.count != 1 or args.strict:
         raise ConfigurationError("--count/--strict have no effect without --faults")
-    cluster = cluster.with_workload(reads=args.reads, spacing=args.spacing,
-                                    operations=args.ops, key_skew=args.key_skew)
+    return cluster.with_workload(reads=args.reads, spacing=args.spacing,
+                                 operations=args.ops,
+                                 key_skew=getattr(args, "key_skew", None))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import get_spec
+
+    cluster = _cluster_from_args(args)
     checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
     result = cluster.check(*checks).run(
         trials=args.trials,
         seed=args.seed,
         keep_history=False,  # the CLI only reports aggregates and verdicts
+        keep_trace=args.trace is not None,
         parallel=args.parallel,
         max_workers=args.workers,
     )
@@ -208,6 +236,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.jsonl, "a", encoding="utf-8") as sink:
             sink.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
         print(f"[appended structured result to {args.jsonl}]")
+    if args.trace:
+        from repro.sim.tracing import dump_trace_jsonl
+
+        events = 0
+        with open(args.trace, "w", encoding="utf-8") as sink:
+            for trial in result.trials:
+                events += dump_trace_jsonl(trial.trace, sink, extra={"trial": trial.trial})
+        print(f"[wrote {events} trace events to {args.trace}]")
     print(result.render())
     if not result.ok:
         for trial, verdict in result.failures():
@@ -303,6 +339,54 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.api import get_spec
+
+    cluster = _cluster_from_args(args)
+    checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
+    result = cluster.check(*checks).explore(
+        max_holds=args.max_holds,
+        max_schedules=args.max_schedules,
+        max_events=args.max_events,
+        granularity=args.granularity,
+        strategy=args.strategy,
+        seed=args.seed,
+        stop_on_violation=args.stop_on_violation,
+        parallel=args.parallel,
+        max_workers=args.workers,
+    )
+    print(result.render())
+    if args.witness and result.witnesses:
+        path = result.witnesses[0].save(args.witness)
+        print(f"[saved first witness to {path}]")
+    found = bool(result.witnesses)
+    if args.expect_violation:
+        if not found:
+            print("expected a violation but the bounded space is clean", file=sys.stderr)
+        return 0 if found else 1
+    return 1 if found else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.explore import ScheduleWitness
+
+    witness = ScheduleWitness.load(args.witness)
+    print(f"replaying {args.witness}: {witness.describe()}")
+    outcome = witness.replay()
+    for check, explanation in outcome.failures:
+        print(f"  {check} FAILED — {explanation}")
+    for check in outcome.passed:
+        print(f"  {check} ok")
+    if witness.reproduces(outcome):
+        print(f"violation reproduced byte-identically "
+              f"(trace {outcome.trace_hash}, {outcome.held_messages} held message(s))")
+        return 0
+    print("REPLAY DIVERGED from the recorded witness "
+          f"(recorded trace {witness.trace_hash}, replayed {outcome.trace_hash})",
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_summary(_args: argparse.Namespace) -> int:
     from repro.core.read_bound import ReadLowerBoundConstruction
     from repro.core.write_bound import WriteLowerBoundConstruction
@@ -383,6 +467,66 @@ def main(argv: list[str] | None = None) -> int:
                      help="process-pool size with --parallel (default: one per CPU)")
     run.add_argument("--jsonl", default=None, metavar="PATH",
                      help="append the structured RunResult as one JSON line to PATH")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="dump every trial's message trace as JSONL to PATH")
+
+    explore = sub.add_parser(
+        "explore",
+        help="bounded model check over held-message schedules",
+    )
+    explore.add_argument("--protocol", required=True,
+                         help="registry name (see list-protocols)")
+    explore.add_argument("--backend", default=None,
+                         help="system backend (default: the protocol's own)")
+    explore.add_argument("--keys", type=int, default=None,
+                         help="key count for keyed backends")
+    explore.add_argument("--writers", dest="writers_count", type=int, default=None,
+                         help="writer family size for multi-writer backends")
+    explore.add_argument("--t", type=int, default=1, help="fault threshold")
+    explore.add_argument("--S", type=int, default=None,
+                         help="object count (default: protocol minimum)")
+    explore.add_argument("--readers", type=int, default=2, help="reader population")
+    explore.add_argument("--scenario", default=None,
+                         help="named scenario (fault plan + workload shape)")
+    explore.add_argument("--faults", default=None,
+                         help="fault behaviour name (e.g. crash, stale-echo)")
+    explore.add_argument("--count", type=int, default=1, help="how many objects misbehave")
+    explore.add_argument("--strict", action="store_true",
+                         help="error instead of clamping --count to t")
+    explore.add_argument("--allow-overfault", action="store_true",
+                         help="permit more than t faulty objects (under-provisioned runs)")
+    explore.add_argument("--ops", type=int, default=3, help="operations in the workload")
+    explore.add_argument("--reads", type=float, default=0.6, help="read fraction")
+    explore.add_argument("--spacing", type=int, default=50,
+                         help="mean gap between invocations")
+    explore.add_argument("--seed", type=int, default=0, help="workload seed")
+    explore.add_argument("--check", action="append", default=None,
+                         help="consistency check (repeatable; default: the protocol's own)")
+    explore.add_argument("--max-holds", type=int, default=2,
+                         help="most links a schedule may hold")
+    explore.add_argument("--max-schedules", type=int, default=2000,
+                         help="total schedule budget")
+    explore.add_argument("--max-events", type=int, default=200_000,
+                         help="simulator event budget per schedule")
+    explore.add_argument("--granularity", choices=("operation", "round"),
+                         default="operation", help="hold-link granularity")
+    explore.add_argument("--strategy", choices=("bfs", "dfs"), default="bfs",
+                         help="frontier order")
+    explore.add_argument("--stop-on-violation", action="store_true",
+                         help="stop at the first violating schedule (refutation mode)")
+    explore.add_argument("--parallel", action="store_true",
+                         help="evaluate frontier waves on a process pool")
+    explore.add_argument("--workers", type=int, default=None,
+                         help="process-pool size with --parallel")
+    explore.add_argument("--witness", default=None, metavar="PATH",
+                         help="save the first violation witness as JSON to PATH")
+    explore.add_argument("--expect-violation", action="store_true",
+                         help="exit 0 iff a violation IS found (CI refutation smoke)")
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a saved schedule witness and re-check it"
+    )
+    replay.add_argument("witness", help="witness JSON written by explore --witness")
 
     compare = sub.add_parser(
         "compare", help="diff two run --jsonl files and flag regressions"
@@ -404,6 +548,8 @@ def main(argv: list[str] | None = None) -> int:
         "list-scenarios": _cmd_list_scenarios,
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "explore": _cmd_explore,
+        "replay": _cmd_replay,
     }
     try:
         return handlers[args.command](args)

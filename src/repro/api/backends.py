@@ -37,6 +37,7 @@ from typing import Any, Callable, Mapping
 
 from repro.api.registry import ProtocolSpec
 from repro.errors import ConfigurationError
+from repro.sim.network import DeliveryPolicy
 from repro.spec.history import History
 from repro.types import ProcessId
 from repro.workloads.generator import OperationPlan
@@ -101,9 +102,14 @@ class SystemBackend(ABC):
     def schedule(self, plan: OperationPlan) -> None:
         """Route one operation plan into the wrapped system."""
 
-    def run(self) -> int:
-        """Run to quiescence; returns the simulator event count."""
-        return self.system.run()
+    def run(self, max_events: int | None = 1_000_000) -> int:
+        """Run to quiescence; returns the simulator event count.
+
+        ``max_events`` bounds the run (the schedule explorer's per-schedule
+        budget); an exhausted budget raises
+        :class:`~repro.errors.SimulationError`.
+        """
+        return self.system.run(max_events=max_events)
 
     def history(self) -> History:
         """The combined history across all keys (drill-down view)."""
@@ -190,10 +196,18 @@ class BackendSpec:
 
     ``keyed`` backends accept multi-key layouts (``Cluster(keys=...)``);
     ``multi_writer`` backends drive a writer family (``n_writers``).
+    Builders take ``(protocol_spec, request, behaviors, policy)`` — the
+    trailing delivery policy is ``None`` for the default FIFO fabric and an
+    adversarial :class:`~repro.sim.network.DeliveryPolicy` when the trial
+    carries a schedule (``Cluster.with_schedule``, scenario policies, the
+    schedule explorer's :class:`~repro.explore.controlled.ControlledDelivery`).
     """
 
     name: str
-    builder: Callable[[ProtocolSpec, BackendRequest, Mapping[ProcessId, Any]], SystemBackend]
+    builder: Callable[
+        [ProtocolSpec, BackendRequest, Mapping[ProcessId, Any], DeliveryPolicy | None],
+        SystemBackend,
+    ]
     description: str
     keyed: bool = False
     multi_writer: bool = False
@@ -204,9 +218,10 @@ class BackendSpec:
         protocol_spec: ProtocolSpec,
         request: BackendRequest,
         behaviors: Mapping[ProcessId, Any],
+        policy: DeliveryPolicy | None = None,
     ) -> SystemBackend:
         """A fresh backend system for one trial (systems are stateful)."""
-        return self.builder(protocol_spec, request, behaviors)
+        return self.builder(protocol_spec, request, behaviors, policy)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly metadata (the builder callable omitted)."""
@@ -280,6 +295,7 @@ def _build_single(
     protocol_spec: ProtocolSpec,
     request: BackendRequest,
     behaviors: Mapping[ProcessId, Any],
+    policy: DeliveryPolicy | None = None,
 ) -> SystemBackend:
     from repro.registers.base import RegisterSystem
 
@@ -291,6 +307,7 @@ def _build_single(
         S=request.S,
         n_readers=request.n_readers,
         behaviors=behaviors,
+        policy=policy,
         allow_overfault=request.allow_overfault,
     )
     return SingleRegisterBackend(system)
@@ -300,6 +317,7 @@ def _build_multi_writer(
     protocol_spec: ProtocolSpec,
     request: BackendRequest,
     behaviors: Mapping[ProcessId, Any],
+    policy: DeliveryPolicy | None = None,
 ) -> SystemBackend:
     from repro.registers.transform_mwmr import (
         MultiWriterRegisterSystem,
@@ -316,6 +334,7 @@ def _build_multi_writer(
             n_writers=request.n_writers,
             n_readers=request.n_readers,
             behaviors=behaviors,
+            policy=policy,
             allow_overfault=request.allow_overfault,
         )
     elif hasattr(protocol, "write_generator_for"):
@@ -326,6 +345,7 @@ def _build_multi_writer(
             n_writers=request.n_writers,
             n_readers=request.n_readers,
             behaviors=behaviors,
+            policy=policy,
             allow_overfault=request.allow_overfault,
         )
     else:
@@ -341,6 +361,7 @@ def _build_sharded(
     protocol_spec: ProtocolSpec,
     request: BackendRequest,
     behaviors: Mapping[ProcessId, Any],
+    policy: DeliveryPolicy | None = None,
 ) -> SystemBackend:
     from repro.registers.sharded import ShardedRegisterSystem
 
@@ -353,6 +374,7 @@ def _build_sharded(
         S=request.S,
         n_readers=request.n_readers,
         behaviors=behaviors,
+        policy=policy,
         allow_overfault=request.allow_overfault,
     )
     return ShardedBackend(system)

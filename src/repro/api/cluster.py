@@ -65,7 +65,9 @@ from repro.api.backends import (
 from repro.api.faults import fault_spec
 from repro.api.registry import ProtocolSpec, available_protocols, get_spec
 from repro.errors import ConfigurationError
+from repro.faults.schedules import PlannedSchedulePolicy, PlannedSkip
 from repro.registers.base import resolve_reader
+from repro.sim.network import DeliveryPolicy
 from repro.spec.atomicity import check_atomicity
 from repro.spec.history import History
 from repro.spec.linearizability import is_linearizable
@@ -206,6 +208,9 @@ class TrialResult:
     incomplete: int
     checks: dict[str, CheckVerdict]
     history: History | None = None
+    #: The trial's wire trace when the spec asked for it (``--trace``);
+    #: like ``history`` it is a live object graph, excluded from to_dict.
+    trace: Any | None = None
 
     @property
     def worst_write(self) -> int:
@@ -434,6 +439,11 @@ class TrialSpec:
     :mod:`repro.api.backends`); ``keys``/``n_writers``/``key_skew`` describe
     the key layout and writer family — all plain data, so sharded and
     multi-writer trials pickle and parallelize exactly like single ones.
+
+    ``schedule`` carries plan-addressed adversarial skip rules
+    (:class:`~repro.faults.schedules.PlannedSkip`, from
+    :meth:`Cluster.with_schedule`) — again plain data, compiled to a
+    delivery policy only inside the trial.
     """
 
     protocol: str
@@ -458,6 +468,8 @@ class TrialSpec:
     keys: tuple[str, ...] = ()
     n_writers: int = 1
     key_skew: float = 0.0
+    schedule: tuple[PlannedSkip, ...] = ()
+    keep_trace: bool = False
 
     def backend_request(self) -> BackendRequest:
         """The build parameters the backend needs, as plain data."""
@@ -515,19 +527,45 @@ def _materialize_behaviors(
     return behaviors
 
 
+def resolve_trial_policy(
+    scenario: str | None,
+    t: int,
+    schedule: tuple[PlannedSkip, ...],
+) -> DeliveryPolicy | None:
+    """The delivery policy a trial runs under, or None for default FIFO.
+
+    A scenario's :attr:`~repro.workloads.scenarios.Scenario.policy_factory`
+    supplies the base fabric; plan-addressed skip rules from
+    :meth:`Cluster.with_schedule` stack on top of it.  Policies are stateful,
+    so a fresh one is built per trial.
+    """
+    base: DeliveryPolicy | None = None
+    if scenario is not None:
+        factory = get_scenario(scenario, t).policy_factory
+        if factory is not None:
+            base = factory()
+    if schedule:
+        return PlannedSchedulePolicy(schedule, base=base)
+    return base
+
+
 def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult:
     """Execute one trial against an already-resolved protocol spec."""
     # Operation serials restart at 1 inside the scope, so the recorded
     # history — including the operation ids surfaced in check explanations —
     # is a pure function of the spec, identical in-process and on a worker;
     # on exit the outer count resumes past its watermark, so any system live
-    # outside the trial keeps allocating fresh ids.
+    # outside the trial keeps allocating fresh ids.  (The restart is also
+    # what makes plan-addressed schedules well-defined: plan k ⇒ serial k.)
     with scoped_operation_serials():
         behaviors = _materialize_behaviors(
             spec.scenario, spec.fault_groups, spec.t, spec.allow_overfault
         )
         backend = get_backend_spec(spec.backend).build(
-            protocol_spec, spec.backend_request(), behaviors
+            protocol_spec,
+            spec.backend_request(),
+            behaviors,
+            resolve_trial_policy(spec.scenario, spec.t, spec.schedule),
         )
         report = measure_backend_latency(backend, spec.plans(), scenario=spec.scenario_label)
         histories = backend.histories()
@@ -540,6 +578,7 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             incomplete=report.incomplete,
             checks=verdicts,
             history=backend.history() if spec.keep_history else None,
+            trace=backend.trace if spec.keep_trace else None,
         )
 
 
@@ -567,8 +606,12 @@ def _parallel_obstacle(specs: Sequence[TrialSpec], protocol_spec: ProtocolSpec) 
     return None
 
 
-def _pool_map(specs: Sequence[TrialSpec], max_workers: int | None) -> list[TrialResult] | None:
-    """Run ``run_trial`` over ``specs`` on a process pool, preserving order.
+def _pool_map(
+    specs: Sequence[Any],
+    max_workers: int | None,
+    fn: Callable[[Any], Any] = None,  # default run_trial, bound below
+) -> list[Any] | None:
+    """Run ``fn`` over ``specs`` on a process pool, preserving order.
 
     Returns ``None`` (after a :class:`RuntimeWarning`) when the pool cannot
     do the job, so the caller reruns serially.  Two known causes, both
@@ -579,10 +622,12 @@ def _pool_map(specs: Sequence[TrialSpec], max_workers: int | None) -> list[Trial
     a ``__main__`` that cannot be re-imported at all (interactive sessions
     — :class:`BrokenProcessPool`).
     """
+    if fn is None:
+        fn = run_trial
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             chunksize = max(1, len(specs) // (pool._max_workers * 4))
-            return list(pool.map(run_trial, specs, chunksize=chunksize))
+            return list(pool.map(fn, specs, chunksize=chunksize))
     except (ConfigurationError, BrokenProcessPool) as error:
         warnings.warn(
             f"parallel workers could not run the trials ({error}); "
@@ -670,6 +715,7 @@ class Cluster:
         self._keys: tuple[str, ...] | None = None
         self._n_writers: int | None = None
         self._key_skew = 0.0
+        self._schedule: tuple[PlannedSkip, ...] = ()
         self._configure_backend(backend, keys, n_writers)
 
     @property
@@ -770,6 +816,55 @@ class Cluster:
         """
         clone = self._clone()
         clone._configure_backend(backend, keys, n_writers)
+        return clone
+
+    def with_schedule(self, *steps: PlannedSkip | tuple) -> "Cluster":
+        """Install plan-addressed adversarial skip rules (stacking).
+
+        Each step is a :class:`~repro.faults.schedules.PlannedSkip` or a
+        shorthand tuple ``(op_index, objects)`` / ``(op_index, objects,
+        round_no)``: operation ``op_index`` (1-based position in the
+        trial's schedule) never delivers its round-``round_no`` invocations
+        (every round when omitted) to the 1-based object indices in
+        ``objects`` — the proofs' *"round rnd of op skips block B"*, as
+        declarative data.  The rules ride inside :class:`TrialSpec`, so
+        scheduled trials pickle and parallelize like any others::
+
+            Cluster("fast-regular", t=1).with_schedule(
+                (1, (1, 2, 3)),                      # op 1 skips {s1,s2,s3}
+                PlannedSkip(op=3, objects=(4,), withhold_replies=True),
+            )
+        """
+        compiled: list[PlannedSkip] = []
+        for step in steps:
+            if not isinstance(step, PlannedSkip):
+                if not isinstance(step, tuple) or not 2 <= len(step) <= 3:
+                    raise ConfigurationError(
+                        "schedule shorthand is (op_index, objects) or "
+                        f"(op_index, objects, round_no), got {step!r}"
+                    )
+                op_index, objects, *rest = step
+                try:
+                    objects = tuple(objects)
+                except TypeError:
+                    raise ConfigurationError(
+                        f"schedule step objects must be a collection of "
+                        f"object indices, got {step!r}"
+                    ) from None
+                step = PlannedSkip(
+                    op=op_index,
+                    objects=objects,
+                    round_no=rest[0] if rest else None,
+                )
+            if step.op < 1 or any(index < 1 for index in step.objects):
+                raise ConfigurationError(
+                    f"schedule steps use 1-based op/object indices, got {step!r}"
+                )
+            if not step.objects:
+                raise ConfigurationError(f"schedule step {step!r} skips no objects")
+            compiled.append(step)
+        clone = self._clone()
+        clone._schedule = self._schedule + tuple(compiled)
         return clone
 
     def with_scenario(self, name: str) -> "Cluster":
@@ -918,7 +1013,14 @@ class Cluster:
     def build_backend(self) -> SystemBackend:
         """One configured :class:`~repro.api.backends.SystemBackend`."""
         behaviors, _ = self._materialize_faults()
-        return self.backend_spec.build(self._spec, self._backend_request(), behaviors)
+        policy = resolve_trial_policy(
+            self._scenario.name if self._scenario is not None else None,
+            self._t,
+            self._schedule,
+        )
+        return self.backend_spec.build(
+            self._spec, self._backend_request(), behaviors, policy
+        )
 
     def build_system(self) -> Any:
         """The configured low-level system — the escape hatch.
@@ -933,7 +1035,9 @@ class Cluster:
     # Execution
     # ------------------------------------------------------------------ #
 
-    def _trial_specs(self, trials: int, seed: int, keep_history: bool) -> list[TrialSpec]:
+    def _trial_specs(
+        self, trials: int, seed: int, keep_history: bool, keep_trace: bool = False
+    ) -> list[TrialSpec]:
         """Compile one picklable :class:`TrialSpec` per trial."""
         explicit = self._explicit_plans is not None
         label = self._scenario_label()
@@ -961,12 +1065,14 @@ class Cluster:
                 keys=self._key_names(),
                 n_writers=self._writer_count(),
                 key_skew=self._key_skew,
+                schedule=self._schedule,
+                keep_trace=keep_trace,
             )
             for index in range(trials)
         ]
 
     def _prepare_run(
-        self, trials: int, seed: int, keep_history: bool
+        self, trials: int, seed: int, keep_history: bool, keep_trace: bool = False
     ) -> tuple[RunResult, list[TrialSpec]]:
         """Validate the configuration and build the result shell + specs.
 
@@ -991,13 +1097,14 @@ class Cluster:
             key_count=len(probe.keys),
             n_writers=self._writer_count(),
         )
-        return result, self._trial_specs(trials, seed, keep_history)
+        return result, self._trial_specs(trials, seed, keep_history, keep_trace)
 
     def run(
         self,
         trials: int = 1,
         seed: int = 0,
         keep_history: bool = True,
+        keep_trace: bool = False,
         parallel: bool = False,
         max_workers: int | None = None,
     ) -> RunResult:
@@ -1018,11 +1125,79 @@ class Cluster:
         schedules closing over live objects) fall back to serial with a
         :class:`RuntimeWarning`.
         """
-        result, specs = self._prepare_run(trials, seed, keep_history)
+        result, specs = self._prepare_run(trials, seed, keep_history, keep_trace)
         result.trials.extend(
             _execute_trials(specs, self._spec, parallel=parallel, max_workers=max_workers)
         )
         return result
+
+    def explore(
+        self,
+        *,
+        max_holds: int = 2,
+        max_schedules: int = 2_000,
+        max_events: int = 200_000,
+        granularity: str = "operation",
+        strategy: str = "bfs",
+        seed: int = 0,
+        minimize: bool = True,
+        stop_on_violation: bool = False,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> "Any":
+        """Bounded model check: sweep held-message schedules for violations.
+
+        Where :meth:`run` simulates *one* schedule per trial, ``explore``
+        searches the schedule space: it enumerates which client↔object
+        links the adversary keeps in transit (up to ``max_holds`` at a
+        time, over at most ``max_schedules`` schedules, each capped at
+        ``max_events`` simulator events), runs every schedule through the
+        configured workload/fault setup, and checks the requested
+        consistency properties on each recorded history.  Violating
+        schedules are delta-debugged to minimal hold sets and returned as
+        replayable :class:`~repro.explore.witness.ScheduleWitness` JSON;
+        a clean sweep of the exhausted bounded space *certifies* the
+        configuration (see
+        :attr:`~repro.explore.engine.ExploreResult.certified`).
+
+        The workload is materialized once (explicit plans, or the
+        generated plan for ``seed``) so every schedule replays the same
+        operations.  Checks default to the protocol's advertised
+        consistency level.  ``parallel=True`` fans each frontier wave over
+        the trial engine's process pool with byte-identical results.
+        """
+        from repro.explore.engine import ScheduleProbe, explore_probe
+
+        plans = tuple(self._plans(seed))
+        checks = self._checks or (self._spec.default_check(),)
+        probe = ScheduleProbe(
+            protocol=self._spec.name,
+            protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
+            t=self._t,
+            S=self._S,
+            n_readers=self._n_readers,
+            n_writers=self._writer_count(),
+            keys=self._key_names(),
+            backend=self.backend_spec.name,
+            allow_overfault=self._allow_overfault,
+            scenario=self._scenario.name if self._scenario is not None else None,
+            fault_groups=self._fault_groups,
+            schedule=self._schedule,
+            plans=plans,
+            checks=checks,
+            granularity=granularity,
+            max_events=max_events,
+        )
+        return explore_probe(
+            probe,
+            max_holds=max_holds,
+            max_schedules=max_schedules,
+            strategy=strategy,
+            minimize=minimize,
+            stop_on_violation=stop_on_violation,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
 
 
 # --------------------------------------------------------------------- #

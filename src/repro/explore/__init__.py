@@ -1,0 +1,53 @@
+"""Systematic schedule exploration: a bounded model checker over deliveries.
+
+The repo's other entry points *simulate one schedule*; this package
+*searches the schedule space*.  In the spirit of robustness checkers
+(Beillahi–Bouajjani–Enea) and the k-atomicity-verification line (Golab et
+al.), it enumerates which client↔object links the adversary keeps "in
+transit", runs every resulting schedule through the existing simulator and
+consistency checkers, and either **certifies** a configuration over all
+bounded schedules or **refutes** it with a minimized, replayable
+:class:`ScheduleWitness`.
+
+Three layers:
+
+* :mod:`repro.explore.controlled` — :class:`ControlledDelivery`, the
+  delivery policy that turns message transit into an explorer-driven
+  choice point over :class:`HoldLink` decisions;
+* :mod:`repro.explore.engine` — :class:`ScheduleProbe` (plain-data
+  schedule descriptions, pool-parallelizable like trial specs),
+  :func:`run_schedule`, and the :class:`Explorer` frontier with sleep-set
+  and transcript-hash partial-order reductions;
+* :mod:`repro.explore.witness` — delta-debugged minimization plus JSON
+  round-tripping and deterministic replay.
+
+Entry points: :meth:`repro.api.Cluster.explore` and
+``python -m repro explore`` / ``python -m repro replay``.
+"""
+
+from repro.explore.controlled import ControlledDelivery, HoldLink, canonical_links
+from repro.explore.engine import (
+    Explorer,
+    ExploreResult,
+    ExploreStats,
+    ScheduleOutcome,
+    ScheduleProbe,
+    explore_probe,
+    run_schedule,
+)
+from repro.explore.witness import ScheduleWitness, minimize_decisions
+
+__all__ = [
+    "ControlledDelivery",
+    "HoldLink",
+    "canonical_links",
+    "Explorer",
+    "ExploreResult",
+    "ExploreStats",
+    "ScheduleOutcome",
+    "ScheduleProbe",
+    "explore_probe",
+    "run_schedule",
+    "ScheduleWitness",
+    "minimize_decisions",
+]

@@ -1,0 +1,161 @@
+"""Explorer-driven delivery: message transit as an explicit choice point.
+
+The event-loop simulator is deterministic once a delivery policy is fixed,
+so the only nondeterminism the paper's adversary actually owns is *which
+messages stay (indefinitely) in transit*.  :class:`ControlledDelivery`
+exposes that choice to the schedule explorer: every message on the wire is
+mapped to a **link** — a :class:`HoldLink` — and the policy holds every
+message of the links the explorer selected, exactly the way
+:class:`~repro.faults.schedules.BlockSkipPolicy` /
+:class:`~repro.faults.schedules.WithholdFrom` realize hand-written
+adversarial schedules.  While a schedule runs, the policy also records
+which links carried at least one delivered message: that set is the
+explorer's *expansion alphabet* (holding a link that carried no traffic
+cannot change the run, so such links are never branched on — the
+sleep-set-style pruning of :mod:`repro.explore.engine`).
+
+Two granularities are supported:
+
+* ``"operation"`` (default) — a link is ``(operation, object)``; holding it
+  cuts every message between the operation's client and the object, in both
+  directions, across all rounds.  This is the block-skipping adversary of
+  the paper's proofs ("round *rnd* of *op* skips block *B*") applied to the
+  whole operation, and it keeps the decision alphabet small
+  (|plans| × S links).
+* ``"round"`` — a link is ``(operation, object, round)``; finer, closer to
+  per-message control, with a correspondingly larger alphabet.  Links of
+  rounds a protocol only enters under some schedules are *discovered* on
+  the parent run (see the engine's expansion rule).
+
+Operations are addressed by their **serial**, which under the trial
+engine's :func:`repro.types.scoped_operation_serials` scope equals the
+1-based position of the operation in the trial's schedule — the same
+plan-addressing used by :class:`~repro.faults.schedules.PlannedSkip`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.network import DeliveryPolicy, FifoDelivery, Message
+
+#: The supported link granularities.
+GRANULARITIES = ("operation", "round")
+
+
+@dataclass(frozen=True, slots=True)
+class HoldLink:
+    """One unit of adversarial choice: a client↔object link to hold.
+
+    ``op`` is the operation serial (1-based plan position under scoped
+    serials), ``obj`` the 1-based storage-object index (``s_obj``), and
+    ``round_no`` the round the hold is confined to — ``None`` holds every
+    round of the operation (the ``"operation"`` granularity).
+    """
+
+    op: int
+    obj: int
+    round_no: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op < 1 or self.obj < 1:
+            raise ConfigurationError(
+                f"hold links are 1-based, got op={self.op}, obj={self.obj}"
+            )
+        if self.round_no is not None and self.round_no < 1:
+            raise ConfigurationError(f"round numbers are 1-based, got {self.round_no}")
+
+    @property
+    def sort_key(self) -> tuple[int, int, int]:
+        """Canonical ordering key (``round_no=None`` sorts first)."""
+        return (self.op, self.obj, self.round_no or 0)
+
+    def describe(self) -> str:
+        suffix = "" if self.round_no is None else f" rnd{self.round_no}"
+        return f"op{self.op}↔s{self.obj}{suffix}"
+
+    def to_json(self) -> list:
+        return [self.op, self.obj, self.round_no]
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "HoldLink":
+        op, obj, round_no = data
+        return cls(op=int(op), obj=int(obj),
+                   round_no=None if round_no is None else int(round_no))
+
+
+def canonical_links(links: Iterable[HoldLink]) -> tuple[HoldLink, ...]:
+    """``links`` as a duplicate-free tuple in canonical order."""
+    return tuple(sorted(set(links), key=lambda link: link.sort_key))
+
+
+class ControlledDelivery(DeliveryPolicy):
+    """Delivery policy steered by an explorer-chosen set of held links.
+
+    Messages whose link is in ``holds`` stay in transit indefinitely (the
+    legitimate partial-run phenomenon, not message loss); everything else
+    flows through ``base`` (unit-latency FIFO by default, or an adversarial
+    policy such as a scenario's).  The policy keeps two observations the
+    engine consumes after the run:
+
+    * :attr:`delivered_links` — links that carried at least one delivered
+      message (the expansion alphabet);
+    * :attr:`held_messages` — how many messages the chosen holds caught.
+    """
+
+    def __init__(
+        self,
+        holds: Iterable[HoldLink] = (),
+        base: DeliveryPolicy | None = None,
+        granularity: str = "operation",
+    ) -> None:
+        if granularity not in GRANULARITIES:
+            raise ConfigurationError(
+                f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+            )
+        self.holds = frozenset(holds)
+        for link in self.holds:
+            if granularity == "operation" and link.round_no is not None:
+                raise ConfigurationError(
+                    f"link {link.describe()} names a round but granularity "
+                    "is 'operation'"
+                )
+            if granularity == "round" and link.round_no is None:
+                raise ConfigurationError(
+                    f"link {link.describe()} has no round but granularity is 'round'"
+                )
+        self.base = base or FifoDelivery()
+        self.granularity = granularity
+        self._delivered: dict[HoldLink, int] = {}
+        self.held_messages = 0
+
+    @property
+    def delivered_links(self) -> tuple[HoldLink, ...]:
+        """Links that carried delivered traffic, in canonical order."""
+        return canonical_links(self._delivered)
+
+    def _link(self, message: Message) -> HoldLink | None:
+        """The link ``message`` travels on, or None for client↔client."""
+        endpoint = message.src if message.is_reply else message.dst
+        if endpoint.role_value != "object":
+            return None
+        round_no = message.round_no if self.granularity == "round" else None
+        return HoldLink(op=message.op.serial, obj=endpoint.index, round_no=round_no)
+
+    def delay(self, message: Message, now: int) -> int | None:
+        link = self._link(message)
+        if link is None:
+            return self.base.delay(message, now)
+        if link in self.holds:
+            self.held_messages += 1
+            return None
+        delay = self.base.delay(message, now)
+        if delay is not None:
+            # Only genuinely delivered traffic enters the expansion
+            # alphabet: a link the *base* policy already holds (a scenario
+            # policy, a planned skip) would branch into schedules whose
+            # extra hold matches nothing — pure duplicate work.
+            self._delivered[link] = self._delivered.get(link, 0) + 1
+        return delay

@@ -1,0 +1,647 @@
+"""Bounded schedule exploration: certify or refute a protocol over schedules.
+
+The paper's lower bounds are adversarial *schedule* arguments — the
+adversary picks which messages stay in transit.  This engine turns that
+argument executable in the other direction: given a protocol, workload and
+fault configuration (one :class:`ScheduleProbe`), it systematically
+enumerates held-link schedules (:class:`~repro.explore.controlled.HoldLink`
+sets), runs every schedule through the existing simulator via
+:class:`~repro.explore.controlled.ControlledDelivery`, and checks each
+recorded history with the registered consistency checkers.  The result is a
+*bounded model check*: within the configured bounds either every schedule
+passes (the configuration is **certified**) or a violating schedule is
+found, minimized, and emitted as a replayable
+:class:`~repro.explore.witness.ScheduleWitness`.
+
+Search space and reductions
+---------------------------
+
+A schedule is a set of held links; the frontier explores supersets
+breadth- or depth-first up to ``max_holds`` links.  Two reductions keep the
+space small:
+
+* **sleep-set pruning** — a link that carried no delivered message in the
+  parent run cannot change the run when held, so only *delivered* links are
+  branched on (commutative "hold a silent link" moves are never explored);
+* **transcript hashing** — every run is fingerprinted over its full wire
+  trace; a schedule whose trace equals an earlier one is a duplicate (its
+  extra decisions matched no messages), so it is neither re-checked nor
+  expanded — any continuation is reachable from the earlier twin.
+
+Violating schedules are not expanded either: a superset of a violating
+hold set wires the same witness with more noise.
+
+Determinism: probes are evaluated in *waves* (the whole frontier for BFS,
+single nodes for DFS) and every wave is mapped either in-process or over
+the PR-2 process pool, so ``parallel=True`` yields byte-identical
+:meth:`ExploreResult.to_dict` output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import warnings
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+from repro.api.backends import BackendRequest, get_backend_spec
+from repro.api.registry import get_spec
+from repro.errors import ConfigurationError, SimulationError
+from repro.explore.controlled import (
+    GRANULARITIES,
+    ControlledDelivery,
+    HoldLink,
+    canonical_links,
+)
+from repro.faults.schedules import PlannedSkip
+from repro.sim.network import DeliveryPolicy
+from repro.sim.simulator import OperationStatus
+from repro.sim.tracing import MessageTrace, _freeze
+from repro.types import scoped_operation_serials
+from repro.workloads.generator import OperationPlan
+
+#: Frontier strategies: breadth-first (waves) or depth-first (stack).
+STRATEGIES = ("bfs", "dfs")
+
+
+# --------------------------------------------------------------------- #
+# Probes: one schedule execution as plain data
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleProbe:
+    """Everything one schedule run needs, as picklable plain data.
+
+    A probe is to the explorer what :class:`~repro.api.cluster.TrialSpec`
+    is to the trial engine: the pure-data boundary that lets schedule
+    evaluations fan out over a process pool with byte-identical results.
+    ``decisions`` is the only field the frontier varies; everything else is
+    the fixed configuration under test.
+    """
+
+    protocol: str
+    protocol_kwargs: tuple[tuple[str, Any], ...]
+    t: int
+    S: int | None
+    n_readers: int
+    n_writers: int
+    keys: tuple[str, ...]
+    backend: str
+    allow_overfault: bool
+    scenario: str | None
+    fault_groups: tuple[Any, ...]  # cluster._FaultGroup entries
+    schedule: tuple[PlannedSkip, ...]
+    plans: tuple[OperationPlan, ...]
+    checks: tuple[str, ...]
+    granularity: str = "operation"
+    decisions: tuple[HoldLink, ...] = ()
+    max_events: int = 200_000
+
+    def backend_request(self) -> BackendRequest:
+        return BackendRequest(
+            t=self.t,
+            S=self.S,
+            n_readers=self.n_readers,
+            n_writers=self.n_writers,
+            keys=self.keys,
+            allow_overfault=self.allow_overfault,
+            protocol_kwargs=self.protocol_kwargs,
+        )
+
+    def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":
+        return replace(self, decisions=canonical_links(decisions))
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleOutcome:
+    """What one explored schedule produced (picklable, deterministic).
+
+    ``failures`` are the failed consistency checks as ``(check,
+    explanation)`` pairs; ``expansions`` are the links that carried
+    delivered traffic (the frontier's branching alphabet);
+    ``trace_hash`` fingerprints the full wire trace (the partial-order
+    reduction key, and the replay-equality oracle for witnesses).
+    """
+
+    decisions: tuple[HoldLink, ...]
+    failures: tuple[tuple[str, str], ...]
+    passed: tuple[str, ...]
+    completed: int
+    incomplete: int
+    dropped: int
+    held_messages: int
+    events: int
+    truncated: bool
+    trace_hash: str
+    expansions: tuple[HoldLink, ...]
+
+    @property
+    def violating(self) -> bool:
+        return bool(self.failures)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "decisions": [link.to_json() for link in self.decisions],
+            "failures": [list(pair) for pair in self.failures],
+            "passed": list(self.passed),
+            "completed": self.completed,
+            "incomplete": self.incomplete,
+            "dropped": self.dropped,
+            "held_messages": self.held_messages,
+            "events": self.events,
+            "truncated": self.truncated,
+            "trace_hash": self.trace_hash,
+        }
+
+
+def _fingerprint(trace: MessageTrace) -> str:
+    """Canonical digest of a full wire trace (PoR + replay-equality key)."""
+    digest = hashlib.sha256()
+    for event in trace.events:
+        message = event.message
+        digest.update(repr((
+            event.time,
+            event.kind.value,
+            str(message.src),
+            str(message.dst),
+            message.op.serial,
+            message.op.kind,
+            str(message.op.client),
+            message.round_no,
+            message.tag,
+            message.is_reply,
+            _freeze(message.payload),
+        )).encode("utf-8", "backslashreplace"))
+    return digest.hexdigest()[:24]
+
+
+def _base_policy(probe: ScheduleProbe) -> DeliveryPolicy | None:
+    """The policy beneath the explorer's holds: scenario + planned skips.
+
+    Delegates to the trial engine's resolver so explored schedules run on
+    exactly the fabric a :meth:`Cluster.run` trial of the same
+    configuration would.
+    """
+    from repro.api.cluster import resolve_trial_policy
+
+    return resolve_trial_policy(probe.scenario, probe.t, probe.schedule)
+
+
+def run_schedule(probe: ScheduleProbe) -> ScheduleOutcome:
+    """Execute one schedule described by ``probe`` and return its outcome.
+
+    Pure with respect to the probe (same probe ⇒ same outcome, in-process
+    or on a pool worker): the system is built fresh, operation serials are
+    scoped, and the fault behaviours are materialized per run.
+    """
+    from repro.api.cluster import _materialize_behaviors, run_check
+
+    with scoped_operation_serials():
+        behaviors = _materialize_behaviors(
+            probe.scenario, probe.fault_groups, probe.t, probe.allow_overfault
+        )
+        policy = ControlledDelivery(
+            holds=probe.decisions,
+            base=_base_policy(probe),
+            granularity=probe.granularity,
+        )
+        backend = get_backend_spec(probe.backend).build(
+            get_spec(probe.protocol), probe.backend_request(), behaviors, policy
+        )
+        # A held schedule may block a client forever; that client's later
+        # planned invocations are then dropped (a legal partial run), not a
+        # sequential-client model violation.
+        backend.simulator.skip_busy_invocations = True
+        for plan in probe.plans:
+            backend.schedule(plan)
+        truncated = False
+        try:
+            events = backend.run(max_events=probe.max_events)
+        except SimulationError:
+            # Budget exhausted: the prefix executed so far is still a legal
+            # partial run (undelivered messages are "in transit"), so the
+            # checks below stay meaningful — but certification must not
+            # claim coverage of the truncated continuations.
+            events = probe.max_events
+            truncated = True
+        histories = backend.histories()
+        failures: list[tuple[str, str]] = []
+        passed: list[str] = []
+        for name in probe.checks:
+            verdict = run_check(name, histories)
+            if verdict.ok:
+                passed.append(name)
+            else:
+                failures.append((name, verdict.explanation or "check failed"))
+        operations = backend.simulator.operations
+        completed = sum(
+            1 for op in operations if op.status is OperationStatus.COMPLETE
+        )
+        dropped = sum(
+            1 for op in operations if op.status is OperationStatus.ABORTED
+        )
+        return ScheduleOutcome(
+            decisions=probe.decisions,
+            failures=tuple(failures),
+            passed=tuple(passed),
+            completed=completed,
+            incomplete=len(operations) - completed - dropped,
+            dropped=dropped,
+            held_messages=policy.held_messages,
+            events=events,
+            truncated=truncated,
+            trace_hash=_fingerprint(backend.trace),
+            expansions=policy.delivered_links,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Exploration results
+# --------------------------------------------------------------------- #
+
+
+@dataclass(slots=True)
+class ExploreStats:
+    """Counters describing how the frontier was traversed and pruned."""
+
+    explored: int = 0
+    violating: int = 0
+    pruned_duplicate: int = 0  # transcript-hash twins (PoR)
+    pruned_seen: int = 0       # child decision sets already enqueued
+    pruned_inactive: int = 0   # sleep-set: known links with no traffic here
+    truncated_runs: int = 0
+    deepest: int = 0
+    minimization_runs: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "explored": self.explored,
+            "violating": self.violating,
+            "pruned_duplicate": self.pruned_duplicate,
+            "pruned_seen": self.pruned_seen,
+            "pruned_inactive": self.pruned_inactive,
+            "truncated_runs": self.truncated_runs,
+            "deepest": self.deepest,
+            "minimization_runs": self.minimization_runs,
+        }
+
+
+@dataclass(slots=True)
+class ExploreResult:
+    """Outcome of a bounded exploration: verdict, witnesses, pruning stats.
+
+    ``certified`` is True only when the frontier was *exhausted* within the
+    bounds, no run was truncated by the event budget, and no schedule
+    violated — i.e. every reachable schedule with at most ``max_holds``
+    held links passed every requested check.
+    """
+
+    protocol: str
+    backend: str
+    t: int
+    S: int
+    n_readers: int
+    faults: str
+    checks: tuple[str, ...]
+    granularity: str
+    strategy: str
+    max_holds: int
+    max_schedules: int
+    max_events: int
+    alphabet: int = 0
+    exhausted: bool = False
+    stats: ExploreStats = field(default_factory=ExploreStats)
+    witnesses: list[Any] = field(default_factory=list)  # ScheduleWitness
+
+    @property
+    def violations(self) -> int:
+        return len(self.witnesses)
+
+    @property
+    def certified(self) -> bool:
+        return (
+            self.exhausted
+            and not self.witnesses
+            and self.stats.truncated_runs == 0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "backend": self.backend,
+            "t": self.t,
+            "S": self.S,
+            "n_readers": self.n_readers,
+            "faults": self.faults,
+            "checks": list(self.checks),
+            "granularity": self.granularity,
+            "strategy": self.strategy,
+            "bounds": {
+                "max_holds": self.max_holds,
+                "max_schedules": self.max_schedules,
+                "max_events": self.max_events,
+            },
+            "alphabet": self.alphabet,
+            "exhausted": self.exhausted,
+            "certified": self.certified,
+            "stats": self.stats.to_dict(),
+            "witnesses": [witness.to_dict() for witness in self.witnesses],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary, ready to print."""
+        lines = [
+            f"explore {self.protocol} [{', '.join(self.checks)}] — "
+            f"t={self.t}, S={self.S}, {self.n_readers} readers, "
+            f"faults: {self.faults}",
+            f"  strategy={self.strategy}, granularity={self.granularity}, "
+            f"bounds: max_holds={self.max_holds}, "
+            f"max_schedules={self.max_schedules}, max_events={self.max_events}",
+            f"  explored {self.stats.explored} schedule(s) over "
+            f"{self.alphabet} link(s), deepest hold set: {self.stats.deepest}",
+            f"  pruning: {self.stats.pruned_duplicate} duplicate trace(s), "
+            f"{self.stats.pruned_seen} re-enqueued set(s), "
+            f"{self.stats.pruned_inactive} inactive link(s)"
+            + (f", {self.stats.truncated_runs} truncated run(s)"
+               if self.stats.truncated_runs else ""),
+        ]
+        if self.witnesses:
+            lines.append(f"  VIOLATIONS: {len(self.witnesses)} "
+                         f"(from {self.stats.violating} violating schedule(s), "
+                         f"{self.stats.minimization_runs} minimization run(s))")
+            for index, witness in enumerate(self.witnesses, start=1):
+                holds = ", ".join(link.describe() for link in witness.decisions)
+                check, explanation = witness.failures[0]
+                lines.append(f"   [{index}] hold {{{holds}}} ⇒ {check}: {explanation}")
+        else:
+            if self.certified:
+                verdict = "CERTIFIED"
+            elif self.stats.truncated_runs:
+                verdict = (
+                    f"no violation found ({self.stats.truncated_runs} run(s) "
+                    "truncated by max_events — raise it to certify)"
+                )
+            else:
+                verdict = "no violation found (bounds not exhausted)"
+            lines.append(f"  {verdict}: every explored schedule passed "
+                         f"{', '.join(self.checks)}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# The explorer
+# --------------------------------------------------------------------- #
+
+
+class Explorer:
+    """Frontier search over held-link schedules for one probe configuration.
+
+    Args:
+        probe: the configuration under test (its ``decisions`` must be
+            empty — the explorer owns that field).
+        max_holds: most links a schedule may hold (frontier depth).
+        max_schedules: total schedule budget ("max reorderings").
+        strategy: ``"bfs"`` (waves, default) or ``"dfs"`` (stack).
+        minimize: delta-debug each violating hold set down to a minimal one
+            before emitting its witness.
+        stop_on_violation: stop the search at the first violating schedule
+            (refutation mode); by default the bounded space is swept fully
+            (certification mode).
+    """
+
+    def __init__(
+        self,
+        probe: ScheduleProbe,
+        *,
+        max_holds: int = 2,
+        max_schedules: int = 2_000,
+        strategy: str = "bfs",
+        minimize: bool = True,
+        stop_on_violation: bool = False,
+    ) -> None:
+        if probe.decisions:
+            raise ConfigurationError("the explorer starts from the empty schedule")
+        if probe.granularity not in GRANULARITIES:
+            raise ConfigurationError(
+                f"granularity must be one of {GRANULARITIES}, got {probe.granularity!r}"
+            )
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if max_holds < 0 or max_schedules < 1:
+            raise ConfigurationError("bounds must be positive")
+        self.probe = probe
+        self.max_holds = max_holds
+        self.max_schedules = max_schedules
+        self.strategy = strategy
+        self.minimize = minimize
+        self.stop_on_violation = stop_on_violation
+
+    # ------------------------------------------------------------------ #
+    # Wave evaluation
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(
+        self,
+        batch: list[tuple[HoldLink, ...]],
+        parallel: bool,
+        max_workers: int | None,
+    ) -> list[ScheduleOutcome]:
+        probes = [self.probe.with_decisions(decisions) for decisions in batch]
+        if parallel and len(probes) > 1:
+            from repro.api.cluster import _pool_map
+
+            outcomes = _pool_map(probes, max_workers, fn=run_schedule)
+            if outcomes is not None:
+                return outcomes
+        return [run_schedule(probe) for probe in probes]
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def run(self, parallel: bool = False, max_workers: int | None = None) -> ExploreResult:
+        """Sweep the bounded schedule space; returns the structured result."""
+        if parallel:
+            try:
+                pickle.dumps(self.probe)
+            except Exception as error:  # noqa: BLE001 — any failure disqualifies
+                warnings.warn(
+                    f"parallel exploration unavailable, falling back to serial: "
+                    f"probe is not picklable ({error})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                parallel = False
+
+        # The root runs first, alone and in-process: configuration errors
+        # surface immediately, and its outcome seeds S (for reporting) and
+        # the expansion alphabet.
+        root_outcome = run_schedule(self.probe)
+        result = self._result_shell()
+        stats = result.stats
+        violations: list[tuple[tuple[HoldLink, ...], ScheduleOutcome]] = []
+
+        frontier: deque[tuple[HoldLink, ...]] = deque()
+        seen: set[tuple[HoldLink, ...]] = {()}
+        trace_seen: set[str] = set()
+        alphabet: set[HoldLink] = set()
+        stop = False
+
+        def absorb(decisions: tuple[HoldLink, ...], outcome: ScheduleOutcome) -> None:
+            nonlocal stop
+            stats.explored += 1
+            stats.deepest = max(stats.deepest, len(decisions))
+            if outcome.truncated:
+                stats.truncated_runs += 1
+            duplicate = outcome.trace_hash in trace_seen
+            if duplicate:
+                # Transcript-hash PoR: an identical wire trace means the
+                # extra decisions matched no messages — the run, its
+                # verdicts, and all its continuations were already covered.
+                stats.pruned_duplicate += 1
+                return
+            trace_seen.add(outcome.trace_hash)
+            if outcome.violating:
+                stats.violating += 1
+                violations.append((decisions, outcome))
+                if self.stop_on_violation:
+                    stop = True
+                return  # supersets of a violating hold set add only noise
+            if len(decisions) >= self.max_holds:
+                return
+            active = set(outcome.expansions)
+            stats.pruned_inactive += len(alphabet - active - set(decisions))
+            alphabet.update(active)
+            for link in outcome.expansions:
+                if link in decisions:
+                    continue
+                child = canonical_links(decisions + (link,))
+                if child in seen:
+                    stats.pruned_seen += 1
+                    continue
+                seen.add(child)
+                frontier.append(child)
+
+        absorb((), root_outcome)
+
+        while frontier and not stop and stats.explored < self.max_schedules:
+            if self.strategy == "dfs":
+                batch = [frontier.pop()]
+            else:
+                budget = self.max_schedules - stats.explored
+                batch = [frontier.popleft() for _ in range(min(budget, len(frontier)))]
+            if parallel and len(batch) > 1:
+                pairs = zip(batch, self._evaluate(batch, parallel, max_workers))
+            else:
+                # Serial: evaluate lazily so stop_on_violation (and the
+                # schedule budget) cut the wave short without paying for
+                # the unabsorbed tail.  Absorption order is identical to
+                # the parallel path, so results stay byte-identical.
+                pairs = (
+                    (decisions, run_schedule(self.probe.with_decisions(decisions)))
+                    for decisions in batch
+                )
+            for decisions, outcome in pairs:
+                absorb(decisions, outcome)
+                if stop:
+                    break
+
+        result.exhausted = not frontier and not stop and stats.explored <= self.max_schedules
+        result.alphabet = len(alphabet)
+        self._attach_witnesses(result, violations)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+
+    def _result_shell(self) -> ExploreResult:
+        from repro.api.cluster import _materialize_behaviors
+
+        behaviors = _materialize_behaviors(
+            self.probe.scenario, self.probe.fault_groups,
+            self.probe.t, self.probe.allow_overfault,
+        )
+        if behaviors:
+            faults = ", ".join(
+                f"{pid}:{behavior.describe()}"
+                for pid, behavior in sorted(behaviors.items())
+            )
+        else:
+            faults = "fault-free"
+        if self.probe.schedule:
+            faults += " + " + "; ".join(s.describe() for s in self.probe.schedule)
+        backend = get_backend_spec(self.probe.backend)
+        if self.probe.S is not None:
+            size = self.probe.S
+        else:
+            # The protocol's resilience class gives the default object
+            # count; no need to build (and discard) a whole live system
+            # just to report it.
+            size = get_spec(self.probe.protocol).min_size(self.probe.t)
+        return ExploreResult(
+            protocol=self.probe.protocol,
+            backend=backend.name,
+            t=self.probe.t,
+            S=size,
+            n_readers=self.probe.n_readers,
+            faults=faults,
+            checks=self.probe.checks,
+            granularity=self.probe.granularity,
+            strategy=self.strategy,
+            max_holds=self.max_holds,
+            max_schedules=self.max_schedules,
+            max_events=self.probe.max_events,
+        )
+
+    def _attach_witnesses(
+        self,
+        result: ExploreResult,
+        violations: list[tuple[tuple[HoldLink, ...], ScheduleOutcome]],
+    ) -> None:
+        from repro.explore.witness import ScheduleWitness, minimize_decisions
+
+        emitted: set[tuple[tuple[HoldLink, ...], tuple[str, ...]]] = set()
+        for decisions, outcome in violations:
+            minimal, final_outcome = outcome.decisions, outcome
+            if self.minimize:
+                minimal, final_outcome, runs = minimize_decisions(
+                    self.probe, decisions, outcome
+                )
+                result.stats.minimization_runs += runs
+            key = (minimal, tuple(name for name, _ in final_outcome.failures))
+            if key in emitted:
+                continue  # two discoveries shrank to the same root cause
+            emitted.add(key)
+            result.witnesses.append(ScheduleWitness.from_exploration(
+                self.probe, decisions=minimal, discovered=decisions,
+                outcome=final_outcome,
+            ))
+
+
+def explore_probe(
+    probe: ScheduleProbe,
+    *,
+    max_holds: int = 2,
+    max_schedules: int = 2_000,
+    strategy: str = "bfs",
+    minimize: bool = True,
+    stop_on_violation: bool = False,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> ExploreResult:
+    """Convenience wrapper: build an :class:`Explorer` and run it."""
+    explorer = Explorer(
+        probe,
+        max_holds=max_holds,
+        max_schedules=max_schedules,
+        strategy=strategy,
+        minimize=minimize,
+        stop_on_violation=stop_on_violation,
+    )
+    return explorer.run(parallel=parallel, max_workers=max_workers)

@@ -18,7 +18,13 @@ from repro.faults.byzantine import (
     StateArchive,
     StaleEchoBehavior,
 )
-from repro.faults.schedules import BlockSkipPolicy, SkipRule, WithholdFrom
+from repro.faults.schedules import (
+    BlockSkipPolicy,
+    PlannedSchedulePolicy,
+    PlannedSkip,
+    SkipRule,
+    WithholdFrom,
+)
 
 __all__ = [
     "SilentBehavior",
@@ -31,4 +37,6 @@ __all__ = [
     "BlockSkipPolicy",
     "SkipRule",
     "WithholdFrom",
+    "PlannedSkip",
+    "PlannedSchedulePolicy",
 ]

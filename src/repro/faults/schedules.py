@@ -105,3 +105,71 @@ def predicate_policy(
     from repro.sim.network import SelectiveHold
 
     return SelectiveHold(hold_if=hold_if, base=base)
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedSkip:
+    """A :class:`SkipRule` addressed by *plan position* instead of a live id.
+
+    ``SkipRule`` needs the :class:`~repro.types.OperationId` of an already
+    invoked operation, which does not exist while an experiment is still
+    being configured.  ``PlannedSkip`` carries the same fact as plain data:
+    ``op`` is the 1-based position of the operation in the trial's schedule
+    (the trial engine runs every trial under
+    :func:`repro.types.scoped_operation_serials`, so plan position ``k``
+    gets operation serial ``k``), ``objects`` are 1-based object indices
+    (the block ``B``), and ``round_no`` of ``None`` skips every round.
+
+    ``withhold_replies`` extends the hold to the reply direction — the
+    :class:`WithholdFrom` counterpart: the objects still *receive and
+    apply* the invocation, but the client never hears back (the "correct
+    but slow forever" adversary).  Without it the rule matches invocations
+    only, exactly like :class:`SkipRule`.
+
+    Being a frozen plain-data record, planned skips pickle and serialize,
+    so scheduled trials run on process pools and round-trip through
+    :class:`~repro.api.cluster.TrialSpec` unchanged.
+    """
+
+    op: int
+    objects: tuple[int, ...]
+    round_no: int | None = None
+    withhold_replies: bool = False
+
+    def matches(self, message: Message) -> bool:
+        if message.op.serial != self.op:
+            return False
+        if self.round_no is not None and message.round_no != self.round_no:
+            return False
+        if message.is_reply:
+            return (
+                self.withhold_replies
+                and message.src.role_value == "object"
+                and message.src.index in self.objects
+            )
+        return message.dst.role_value == "object" and message.dst.index in self.objects
+
+    def describe(self) -> str:
+        block = ",".join(f"s{index}" for index in self.objects)
+        rounds = "all rounds" if self.round_no is None else f"rnd{self.round_no}"
+        direction = "±replies" if self.withhold_replies else "invocations"
+        return f"op{self.op} skips {{{block}}} ({rounds}, {direction})"
+
+
+class PlannedSchedulePolicy(DeliveryPolicy):
+    """A :class:`BlockSkipPolicy` over plan-addressed :class:`PlannedSkip` rules.
+
+    This is what :meth:`repro.api.cluster.Cluster.with_schedule` and
+    schedule-bearing scenarios compile to at trial time; non-matching
+    messages flow through ``base`` (unit-latency FIFO by default).
+    """
+
+    def __init__(self, skips: Iterable[PlannedSkip] = (), base: DeliveryPolicy | None = None) -> None:
+        self.skips: tuple[PlannedSkip, ...] = tuple(skips)
+        self.base = base or FifoDelivery()
+
+    def delay(self, message: Message, now: int) -> int | None:
+        for skip in self.skips:
+            if skip.matches(message):
+                return None
+        return self.base.delay(message, now)

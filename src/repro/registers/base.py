@@ -181,12 +181,14 @@ class RegisterSystem:
         generator = self.protocol.read_generator(self.ctx, reader)
         return self.simulator.invoke(reader, "read", generator, at=at)
 
-    def run(self) -> int:
+    def run(self, max_events: int | None = 1_000_000) -> int:
         """Run the simulation to its quiescent fixed point.
 
-        Returns the number of simulator events executed.
+        Returns the number of simulator events executed.  ``max_events``
+        bounds the run (``None``: unbounded); exhausting the budget raises
+        :class:`~repro.errors.SimulationError`.
         """
-        return self.simulator.run()
+        return self.simulator.run(max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # Inspection

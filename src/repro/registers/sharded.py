@@ -159,9 +159,9 @@ class ShardedRegisterSystem:
         self._op_keys[operation.op_id] = key
         return operation
 
-    def run(self) -> int:
+    def run(self, max_events: int | None = 1_000_000) -> int:
         """Run the simulation to quiescence; returns the event count."""
-        return self.simulator.run()
+        return self.simulator.run(max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # Inspection

@@ -182,9 +182,9 @@ class MultiWriterRegisterSystem:
 
         return self.simulator.invoke(reader_id(1000 + reader_index), "read", generator(), at=at)
 
-    def run(self) -> int:
+    def run(self, max_events: int | None = 1_000_000) -> int:
         """Run the simulation to quiescence; returns the event count."""
-        return self.simulator.run()
+        return self.simulator.run(max_events=max_events)
 
     def history(self) -> History:
         """The recorded multi-writer history (check with ``is_linearizable``)."""
@@ -263,9 +263,9 @@ class NativeMultiWriterSystem:
         generator = self.protocol.read_generator(self.ctx, reader)
         return self.simulator.invoke(reader, "read", generator, at=at)
 
-    def run(self) -> int:
+    def run(self, max_events: int | None = 1_000_000) -> int:
         """Run the simulation to quiescence; returns the event count."""
-        return self.simulator.run()
+        return self.simulator.run(max_events=max_events)
 
     def history(self) -> History:
         """The recorded multi-writer history."""

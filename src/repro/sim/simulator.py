@@ -100,6 +100,13 @@ class Simulator:
         self._by_op: dict[OperationId, ClientOperation] = {}
         self._attached_clients: set[ProcessId] = set()
         self._busy_clients: set[ProcessId] = set()
+        # Clients are sequential: invoking while an operation is outstanding
+        # raises ProtocolError.  The schedule explorer flips this flag: when
+        # an adversarial schedule blocks an operation forever, the client's
+        # *later planned* invocations simply never happen (they are dropped
+        # as ABORTED without a history record) — the legal partial-run
+        # outcome, not a model violation.
+        self.skip_busy_invocations = False
         # The object population is fixed at construction; cache the sorted
         # view once instead of re-sorting on every broadcast.
         self._object_ids: tuple[ProcessId, ...] = tuple(sorted(self.objects))
@@ -150,6 +157,9 @@ class Simulator:
 
         def start() -> None:
             if operation.client in self._busy_clients:
+                if self.skip_busy_invocations:
+                    operation.status = OperationStatus.ABORTED
+                    return
                 raise ProtocolError(
                     f"{operation.client} invoked {op_id} while another operation is outstanding"
                 )
@@ -176,11 +186,14 @@ class Simulator:
         """Drain events, resolving quiescence, until a global fixed point.
 
         Returns the total number of events executed (the throughput metric
-        the performance benchmark tracks as events/sec).
+        the performance benchmark tracks as events/sec).  ``max_events``
+        bounds the *whole* run: the budget is shared across quiescence
+        segments, not re-armed per drain.
         """
         executed = 0
         while True:
-            executed += self.queue.run_all(max_events=max_events)
+            remaining = None if max_events is None else max_events - executed
+            executed += self.queue.run_all(max_events=remaining)
             if not self._resolve_quiescence():
                 return executed
 

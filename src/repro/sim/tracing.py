@@ -35,6 +35,33 @@ class TraceEvent:
     kind: TraceKind
     message: Message
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (one ``--trace`` JSONL line).
+
+        Payload values that are not JSON primitives (tagged values,
+        timestamps, nested protocol state) are rendered with ``str`` — the
+        dump is for offline inspection, not for re-execution (replayable
+        artifacts are :class:`~repro.explore.witness.ScheduleWitness`).
+        """
+        message = self.message
+        return {
+            "time": self.time,
+            "kind": self.kind.value,
+            "src": str(message.src),
+            "dst": str(message.dst),
+            "op": str(message.op),
+            "op_serial": message.op.serial,
+            "op_kind": message.op.kind,
+            "round": message.round_no,
+            "tag": message.tag,
+            "reply": message.is_reply,
+            "payload": {
+                key: value if isinstance(value, (str, int, float, bool, type(None)))
+                else str(value)
+                for key, value in sorted(message.payload.items())
+            },
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class TranscriptEntry:
@@ -146,3 +173,19 @@ def merge_transcripts(traces: Iterable[MessageTrace], op_id: OperationId) -> tup
     for trace in traces:
         entries.extend(trace.client_transcript(op_id))
     return tuple(sorted(entries, key=lambda e: (e.round_no, e.source, e.payload_items)))
+
+
+def dump_trace_jsonl(trace: MessageTrace, sink, extra: Mapping[str, Any] | None = None) -> int:
+    """Write ``trace`` to the file object ``sink`` as one JSON line per event.
+
+    ``extra`` fields (e.g. the trial index) are merged into every line.
+    Returns the number of events written.
+    """
+    import json
+
+    merged = dict(extra or {})
+    for event in trace.events:
+        record = event.to_dict()
+        record.update(merged)
+        sink.write(json.dumps(record, sort_keys=True, ensure_ascii=False) + "\n")
+    return len(trace.events)

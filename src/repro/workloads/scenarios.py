@@ -16,6 +16,7 @@ from typing import Callable, Mapping
 from repro.errors import ConfigurationError
 from repro.faults.adversary import CrashAt, SilentBehavior
 from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+from repro.sim.network import DeliveryPolicy
 from repro.sim.process import FaultBehavior, ObjectServer
 from repro.types import ProcessId, object_id
 
@@ -64,13 +65,23 @@ class FaultPlan:
 
 @dataclass(frozen=True, slots=True)
 class Scenario:
-    """A fault plan plus workload shape."""
+    """A fault plan plus workload shape — and, optionally, a schedule.
+
+    ``policy_factory`` builds a fresh adversarial
+    :class:`~repro.sim.network.DeliveryPolicy` per trial (policies are
+    stateful), making message-timing adversaries — block skipping via
+    :class:`~repro.faults.schedules.PlannedSchedulePolicy`, reply
+    withholding, custom holds — first-class citizens of the scenario
+    registry next to fault plans.  ``None`` keeps the default synchronous
+    unit-latency fabric.
+    """
 
     name: str
     fault_plan: FaultPlan
     read_fraction: float = 0.6
     spacing: int = 25
     description: str = ""
+    policy_factory: Callable[[], "DeliveryPolicy"] | None = None
 
 
 # --------------------------------------------------------------------- #

@@ -207,3 +207,74 @@ class TestJsonlAndCompare:
         b.write_text("")
         assert main(["compare", str(a), str(b)]) == 2
         assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestTraceDump:
+    def test_run_trace_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main([
+            "run", "--protocol", "abd", "--trials", "2", "--trace", str(path),
+        ]) == 0
+        assert f"trace events to {path}" in capsys.readouterr().out
+        lines = [line for line in path.read_text().splitlines() if line]
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert {record["trial"] for record in records} == {0, 1}
+        assert {record["kind"] for record in records} >= {"send", "deliver"}
+        assert all("op_serial" in record and "tag" in record for record in records)
+
+
+class TestExploreCli:
+    #: The under-provisioned fast-read stack: provisioned for t=1 (S=4),
+    #: hit by 2 stale-echo objects.  Seed 7 generates write-then-read.
+    REFUTE = [
+        "explore", "--protocol", "atomic-fast-regular", "--t", "1", "--S", "4",
+        "--faults", "stale-echo", "--count", "2", "--allow-overfault",
+        "--ops", "2", "--reads", "0.5", "--seed", "7", "--max-holds", "2",
+    ]
+
+    def test_explore_certifies_clean_configuration(self, capsys):
+        assert main([
+            "explore", "--protocol", "abd", "--ops", "2", "--reads", "0.5",
+            "--seed", "7", "--max-holds", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out and "atomicity" in out
+
+    def test_explore_finds_violation_and_exits_1(self, capsys):
+        assert main(self.REFUTE) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out and "stale read" in out
+
+    def test_expect_violation_inverts_exit_code(self, capsys):
+        assert main(self.REFUTE + ["--expect-violation"]) == 0
+        assert main([
+            "explore", "--protocol", "abd", "--ops", "2", "--seed", "7",
+            "--max-holds", "1", "--expect-violation",
+        ]) == 1
+        assert "expected a violation" in capsys.readouterr().err
+
+    def test_witness_round_trips_through_replay(self, tmp_path, capsys):
+        witness = tmp_path / "witness.json"
+        assert main(self.REFUTE + ["--expect-violation", "--witness", str(witness)]) == 0
+        assert witness.exists()
+        assert main(["replay", str(witness)]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced byte-identically" in out
+
+    def test_tampered_witness_fails_replay(self, tmp_path, capsys):
+        witness = tmp_path / "witness.json"
+        assert main(self.REFUTE + ["--expect-violation", "--witness", str(witness)]) == 0
+        data = json.loads(witness.read_text())
+        data["decisions"] = []
+        witness.write_text(json.dumps(data))
+        assert main(["replay", str(witness)]) == 1
+        assert "DIVERGED" in capsys.readouterr().err
+
+    def test_explore_parallel_flag(self, capsys):
+        assert main(self.REFUTE + ["--expect-violation", "--parallel"]) == 0
+        assert "VIOLATIONS" in capsys.readouterr().out
+
+    def test_explore_unknown_protocol_exits_2(self, capsys):
+        assert main(["explore", "--protocol", "raft"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err

@@ -1,8 +1,15 @@
 """Tests for message tracing and reply transcripts."""
 
+import io
+import json
+
+from repro.faults.adversary import SilentBehavior
+from repro.faults.schedules import WithholdFrom
 from repro.registers.abd import AbdProtocol
 from repro.registers.base import RegisterSystem
-from repro.sim.tracing import MessageTrace, TraceKind, merge_transcripts
+from repro.registers.fast_regular import FastRegularProtocol
+from repro.sim.tracing import MessageTrace, TraceKind, dump_trace_jsonl, merge_transcripts
+from repro.types import object_id, scoped_operation_serials
 
 
 def run_abd():
@@ -64,3 +71,83 @@ class TestTraceQueries:
         kinds = {event.kind for event in system.trace.events}
         assert TraceKind.SEND in kinds
         assert TraceKind.DELIVER in kinds
+
+
+class TestIndistinguishability:
+    """The proofs' core device, pinned on one concrete pair of runs.
+
+    A reader cannot distinguish an object that is *silent-faulty* from a
+    correct object whose replies the adversary keeps in transit: in both
+    partial runs the reader's reply transcript — the only thing it
+    observes — is identical.  (The runs differ globally: the withheld
+    run's messages exist, parked in transit; the silent run's were never
+    sent.)
+    """
+
+    @staticmethod
+    def _run(behaviors=None, policy=None):
+        with scoped_operation_serials():
+            system = RegisterSystem(
+                FastRegularProtocol(), t=1, S=4, n_readers=2,
+                behaviors=behaviors or {}, policy=policy,
+            )
+            write_op = system.write("v1", at=0)
+            read_op = system.read(1, at=100)
+            system.run()
+            return system, write_op, read_op
+
+    def test_silent_fault_vs_withheld_replies(self):
+        silent, silent_write, silent_read = self._run(
+            behaviors={object_id(1): SilentBehavior()}
+        )
+        withheld, held_write, held_read = self._run(
+            policy=WithholdFrom([object_id(1)])
+        )
+        # Identical reply transcripts for the reader and the writer: the
+        # two runs are indistinguishable to both clients.
+        assert (
+            silent.trace.client_transcript(silent_read.op_id)
+            == withheld.trace.client_transcript(held_read.op_id)
+        )
+        assert (
+            silent.trace.client_transcript(silent_write.op_id)
+            == withheld.trace.client_transcript(held_write.op_id)
+        )
+        # Both runs complete with the same results ...
+        assert silent_read.result == held_read.result == "v1"
+        # ... yet they are *globally* different partial runs: the withheld
+        # run has s1's replies parked in transit, the silent run has none.
+        assert withheld.simulator.network.held_messages
+        assert not silent.simulator.network.held_messages
+
+    def test_distinguishable_once_the_held_reply_lands(self):
+        # Releasing the withheld replies breaks the indistinguishability
+        # at the wire level: s1 now appears in the delivered set.
+        withheld, _, held_read = self._run(policy=WithholdFrom([object_id(1)]))
+        before = {m.src for m in withheld.trace.delivered_to(held_read.client)}
+        assert object_id(1) not in before
+        withheld.simulator.network.release_held()
+        withheld.run()
+        after = {m.src for m in withheld.trace.delivered_to(held_read.client)}
+        assert object_id(1) in after
+
+
+class TestTraceSerialization:
+    def test_event_to_dict_is_json_safe(self):
+        system, _, read_op = run_abd()
+        for event in system.trace.events:
+            record = event.to_dict()
+            json.dumps(record)  # raises on non-JSON-able leftovers
+            assert record["kind"] in {"send", "deliver", "hold", "drop"}
+            assert record["op_serial"] >= 1
+            assert isinstance(record["payload"], dict)
+
+    def test_dump_trace_jsonl_round_trips_structure(self):
+        system, _, _ = run_abd()
+        sink = io.StringIO()
+        written = dump_trace_jsonl(system.trace, sink, extra={"trial": 7})
+        lines = [line for line in sink.getvalue().splitlines() if line]
+        assert written == len(system.trace.events) == len(lines)
+        parsed = [json.loads(line) for line in lines]
+        assert all(record["trial"] == 7 for record in parsed)
+        assert parsed[0]["time"] == system.trace.events[0].time
