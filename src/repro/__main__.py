@@ -204,6 +204,7 @@ def _cluster_from_args(args: argparse.Namespace):
         backend=args.backend,
         keys=args.keys,
         n_writers=args.writers_count,
+        engine=args.engine,
         allow_overfault=getattr(args, "allow_overfault", False),
     )
     if getattr(args, "scenario", None):
@@ -283,7 +284,7 @@ def _load_jsonl(path: str) -> dict[tuple, dict]:
             key = (record.get("protocol"), record.get("scenario"),
                    record.get("t"), record.get("n_readers"),
                    record.get("backend", "single"), record.get("keys", 1),
-                   record.get("writers", 1))
+                   record.get("writers", 1), record.get("engine", "event"))
             runs[key] = record
     return runs
 
@@ -306,6 +307,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         label = f"{key[0]} @ {key[1]} (t={key[2]}, {key[3]} readers)"
         if key[4] != "single":
             label += f" [{key[4]}, {key[5]} key(s), {key[6]} writer(s)]"
+        if key[7] != "event":
+            label += f" [engine={key[7]}]"
         for metric in ("worst_write", "worst_read", "incomplete"):
             old, new = a.get(metric, 0), b.get(metric, 0)
             if new > old:
@@ -447,6 +450,9 @@ def main(argv: list[str] | None = None) -> int:
                      help="writer family size for multi-writer backends")
     run.add_argument("--key-skew", type=float, default=0.0,
                      help="Zipf-style key skew for keyed workloads (0 = uniform)")
+    run.add_argument("--engine", choices=("event", "batched"), default="event",
+                     help="simulation engine (batched: wave-stepped, "
+                          "identical results, faster)")
     run.add_argument("--t", type=int, default=1, help="fault threshold")
     run.add_argument("--S", type=int, default=None, help="object count (default: protocol minimum)")
     run.add_argument("--readers", type=int, default=2, help="reader population")
@@ -482,6 +488,8 @@ def main(argv: list[str] | None = None) -> int:
                          help="key count for keyed backends")
     explore.add_argument("--writers", dest="writers_count", type=int, default=None,
                          help="writer family size for multi-writer backends")
+    explore.add_argument("--engine", choices=("event", "batched"), default="event",
+                         help="simulation engine schedules are evaluated on")
     explore.add_argument("--t", type=int, default=1, help="fault threshold")
     explore.add_argument("--S", type=int, default=None,
                          help="object count (default: protocol minimum)")

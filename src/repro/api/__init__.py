@@ -57,6 +57,7 @@ from repro.api.backends import (
     get_backend_spec,
     register_backend,
 )
+from repro.sim.batched import ENGINES, available_engines
 from repro.api.cluster import (
     CheckVerdict,
     Cluster,
@@ -94,6 +95,9 @@ __all__ = [
     "get_backend_spec",
     "available_backends",
     "backend_specs",
+    # simulation engines
+    "ENGINES",
+    "available_engines",
     # builder + results
     "Cluster",
     "run_check",

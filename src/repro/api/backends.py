@@ -65,6 +65,9 @@ class BackendRequest:
     keys: tuple[str, ...] = ()
     allow_overfault: bool = False
     protocol_kwargs: tuple[tuple[str, Any], ...] = ()
+    #: Simulation engine every backend builds its system on
+    #: (see :data:`repro.sim.batched.ENGINES`).
+    engine: str = "event"
 
 
 class SystemBackend(ABC):
@@ -309,6 +312,7 @@ def _build_single(
         behaviors=behaviors,
         policy=policy,
         allow_overfault=request.allow_overfault,
+        engine=request.engine,
     )
     return SingleRegisterBackend(system)
 
@@ -336,6 +340,7 @@ def _build_multi_writer(
             behaviors=behaviors,
             policy=policy,
             allow_overfault=request.allow_overfault,
+            engine=request.engine,
         )
     elif hasattr(protocol, "write_generator_for"):
         system = NativeMultiWriterSystem(
@@ -347,6 +352,7 @@ def _build_multi_writer(
             behaviors=behaviors,
             policy=policy,
             allow_overfault=request.allow_overfault,
+            engine=request.engine,
         )
     else:
         raise ConfigurationError(
@@ -376,6 +382,7 @@ def _build_sharded(
         behaviors=behaviors,
         policy=policy,
         allow_overfault=request.allow_overfault,
+        engine=request.engine,
     )
     return ShardedBackend(system)
 

@@ -67,6 +67,7 @@ from repro.api.registry import ProtocolSpec, available_protocols, get_spec
 from repro.errors import ConfigurationError
 from repro.faults.schedules import PlannedSchedulePolicy, PlannedSkip
 from repro.registers.base import resolve_reader
+from repro.sim.batched import resolve_engine
 from repro.sim.network import DeliveryPolicy
 from repro.spec.atomicity import check_atomicity
 from repro.spec.history import History
@@ -260,6 +261,7 @@ class RunResult:
     backend: str = "single"
     key_count: int = 1
     n_writers: int = 1
+    engine: str = "event"
 
     @property
     def worst_write(self) -> int:
@@ -321,6 +323,12 @@ class RunResult:
             payload["backend"] = self.backend
             payload["keys"] = self.key_count
             payload["writers"] = self.n_writers
+        if self.engine != "event":
+            # The engine tag is metadata about *how* the run executed, not
+            # what it produced: a batched run's payload is byte-identical to
+            # the event engine's apart from this one key (absent = event, so
+            # pre-engine JSONL files stay comparable).
+            payload["engine"] = self.engine
         return payload
 
     def row(self) -> dict[str, str]:
@@ -356,6 +364,8 @@ class RunResult:
         shape = ""
         if self.backend != "single":
             shape = f", backend={self.backend} ({self.key_count} key(s), {self.n_writers} writer(s))"
+        if self.engine != "event":
+            shape += f", engine={self.engine}"
         title = (
             f"{self.protocol} [{self.semantics}] — t={self.t}, S={self.S}, "
             f"{self.n_readers} readers{shape}, faults: {self.faults.describe()}"
@@ -470,6 +480,7 @@ class TrialSpec:
     key_skew: float = 0.0
     schedule: tuple[PlannedSkip, ...] = ()
     keep_trace: bool = False
+    engine: str = "event"
 
     def backend_request(self) -> BackendRequest:
         """The build parameters the backend needs, as plain data."""
@@ -481,6 +492,7 @@ class TrialSpec:
             keys=self.keys,
             allow_overfault=self.allow_overfault,
             protocol_kwargs=self.protocol_kwargs,
+            engine=self.engine,
         )
 
     def plans(self) -> list[OperationPlan]:
@@ -679,6 +691,10 @@ class Cluster:
             multi-writer backend automatically.
         keys: key layout for keyed backends — a count or explicit names.
         n_writers: writer family size for multi-writer backends.
+        engine: simulation engine every trial runs on — ``"event"`` (the
+            per-message event loop, default) or ``"batched"`` (the
+            wave-stepped engine, observably identical and faster; see
+            :mod:`repro.sim.batched`).
         protocol_kwargs: forwarded to the protocol factory per trial.
     """
 
@@ -692,6 +708,7 @@ class Cluster:
         backend: str | None = None,
         keys: int | Sequence[str] | None = None,
         n_writers: int | None = None,
+        engine: str = "event",
         **protocol_kwargs: Any,
     ) -> None:
         self._spec = protocol if isinstance(protocol, ProtocolSpec) else get_spec(protocol)
@@ -716,7 +733,13 @@ class Cluster:
         self._n_writers: int | None = None
         self._key_skew = 0.0
         self._schedule: tuple[PlannedSkip, ...] = ()
+        self._engine = self._validate_engine(engine)
         self._configure_backend(backend, keys, n_writers)
+
+    @staticmethod
+    def _validate_engine(engine: str) -> str:
+        resolve_engine(engine)  # one source of truth for names + errors
+        return engine
 
     @property
     def spec(self) -> ProtocolSpec:
@@ -816,6 +839,18 @@ class Cluster:
         """
         clone = self._clone()
         clone._configure_backend(backend, keys, n_writers)
+        return clone
+
+    def with_engine(self, engine: str) -> "Cluster":
+        """Select the simulation engine trials execute on.
+
+        ``"event"`` is the per-message event loop; ``"batched"`` is the
+        wave-stepped :class:`~repro.sim.batched.BatchedSimulator` — same
+        observable results (byte-identical :meth:`RunResult.to_dict` apart
+        from the ``engine`` metadata tag), faster execution.
+        """
+        clone = self._clone()
+        clone._engine = self._validate_engine(engine)
         return clone
 
     def with_schedule(self, *steps: PlannedSkip | tuple) -> "Cluster":
@@ -1008,6 +1043,7 @@ class Cluster:
             keys=self._key_names(),
             allow_overfault=self._allow_overfault,
             protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
+            engine=self._engine,
         )
 
     def build_backend(self) -> SystemBackend:
@@ -1067,6 +1103,7 @@ class Cluster:
                 key_skew=self._key_skew,
                 schedule=self._schedule,
                 keep_trace=keep_trace,
+                engine=self._engine,
             )
             for index in range(trials)
         ]
@@ -1096,6 +1133,7 @@ class Cluster:
             backend=self.backend_spec.name,
             key_count=len(probe.keys),
             n_writers=self._writer_count(),
+            engine=self._engine,
         )
         return result, self._trial_specs(trials, seed, keep_history, keep_trace)
 
@@ -1187,6 +1225,7 @@ class Cluster:
             checks=checks,
             granularity=granularity,
             max_events=max_events,
+            engine=self._engine,
         )
         return explore_probe(
             probe,
@@ -1220,6 +1259,7 @@ def sweep(
     keys: int | Sequence[str] | None = None,
     n_writers: int | None = None,
     key_skew: float = 0.0,
+    engine: str = "event",
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> SweepResult:
@@ -1246,7 +1286,8 @@ def sweep(
         for scenario_name in scenarios if scenarios is not None else spec.scenarios:
             cluster = (
                 Cluster(name, t=t, n_readers=n_readers,
-                        backend=backend, keys=keys, n_writers=n_writers)
+                        backend=backend, keys=keys, n_writers=n_writers,
+                        engine=engine)
                 .with_scenario(scenario_name)
                 .with_workload(spacing=spacing, operations=operations, key_skew=key_skew)
                 .check(*checks)

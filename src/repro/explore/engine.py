@@ -39,7 +39,6 @@ the PR-2 process pool, so ``parallel=True`` yields byte-identical
 
 from __future__ import annotations
 
-import hashlib
 import pickle
 import warnings
 from collections import deque
@@ -58,7 +57,7 @@ from repro.explore.controlled import (
 from repro.faults.schedules import PlannedSkip
 from repro.sim.network import DeliveryPolicy
 from repro.sim.simulator import OperationStatus
-from repro.sim.tracing import MessageTrace, _freeze
+from repro.sim.tracing import trace_fingerprint
 from repro.types import scoped_operation_serials
 from repro.workloads.generator import OperationPlan
 
@@ -99,6 +98,10 @@ class ScheduleProbe:
     granularity: str = "operation"
     decisions: tuple[HoldLink, ...] = ()
     max_events: int = 200_000
+    #: Simulation engine schedules are evaluated on.  Both engines produce
+    #: byte-identical outcomes (same failures, same events count, same wire
+    #: trace fingerprint), so certificates and witnesses transfer.
+    engine: str = "event"
 
     def backend_request(self) -> BackendRequest:
         return BackendRequest(
@@ -109,6 +112,7 @@ class ScheduleProbe:
             keys=self.keys,
             allow_overfault=self.allow_overfault,
             protocol_kwargs=self.protocol_kwargs,
+            engine=self.engine,
         )
 
     def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":
@@ -157,25 +161,8 @@ class ScheduleOutcome:
         }
 
 
-def _fingerprint(trace: MessageTrace) -> str:
-    """Canonical digest of a full wire trace (PoR + replay-equality key)."""
-    digest = hashlib.sha256()
-    for event in trace.events:
-        message = event.message
-        digest.update(repr((
-            event.time,
-            event.kind.value,
-            str(message.src),
-            str(message.dst),
-            message.op.serial,
-            message.op.kind,
-            str(message.op.client),
-            message.round_no,
-            message.tag,
-            message.is_reply,
-            _freeze(message.payload),
-        )).encode("utf-8", "backslashreplace"))
-    return digest.hexdigest()[:24]
+#: The PoR + replay-equality key (public home: :mod:`repro.sim.tracing`).
+_fingerprint = trace_fingerprint
 
 
 def _base_policy(probe: ScheduleProbe) -> DeliveryPolicy | None:
@@ -311,6 +298,7 @@ class ExploreResult:
     max_holds: int
     max_schedules: int
     max_events: int
+    engine: str = "event"
     alphabet: int = 0
     exhausted: bool = False
     stats: ExploreStats = field(default_factory=ExploreStats)
@@ -332,6 +320,7 @@ class ExploreResult:
         return {
             "protocol": self.protocol,
             "backend": self.backend,
+            "engine": self.engine,
             "t": self.t,
             "S": self.S,
             "n_readers": self.n_readers,
@@ -353,9 +342,10 @@ class ExploreResult:
 
     def render(self) -> str:
         """Human-readable summary, ready to print."""
+        engine_tag = "" if self.engine == "event" else f", engine={self.engine}"
         lines = [
             f"explore {self.protocol} [{', '.join(self.checks)}] — "
-            f"t={self.t}, S={self.S}, {self.n_readers} readers, "
+            f"t={self.t}, S={self.S}, {self.n_readers} readers{engine_tag}, "
             f"faults: {self.faults}",
             f"  strategy={self.strategy}, granularity={self.granularity}, "
             f"bounds: max_holds={self.max_holds}, "
@@ -587,6 +577,7 @@ class Explorer:
         return ExploreResult(
             protocol=self.probe.protocol,
             backend=backend.name,
+            engine=self.probe.engine,
             t=self.probe.t,
             S=size,
             n_readers=self.probe.n_readers,

@@ -175,6 +175,7 @@ class ScheduleWitness:
             "checks": list(probe.checks),
             "granularity": probe.granularity,
             "max_events": probe.max_events,
+            "engine": probe.engine,
             "decisions": [link.to_json() for link in self.decisions],
             "discovered": [link.to_json() for link in self.discovered],
             "failures": [list(pair) for pair in self.failures],
@@ -235,6 +236,7 @@ class ScheduleWitness:
             granularity=data.get("granularity", "operation"),
             decisions=decisions,
             max_events=data.get("max_events", 200_000),
+            engine=data.get("engine", "event"),
         )
         return cls(
             probe=probe,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.batched import resolve_engine
 from repro.sim.network import DeliveryPolicy
 from repro.sim.process import FaultBehavior, ObjectHandler, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
@@ -111,6 +112,10 @@ class RegisterSystem:
            unless ``allow_overfault`` is set (some experiments deliberately
            exceed the threshold to show where protocols break).
         policy: delivery policy (default unit-latency FIFO).
+        engine: simulation engine — ``"event"`` (per-message event loop, the
+           default) or ``"batched"`` (wave-stepped
+           :class:`~repro.sim.batched.BatchedSimulator`, observably
+           identical and faster).
     """
 
     def __init__(
@@ -122,6 +127,7 @@ class RegisterSystem:
         behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
+        engine: str = "event",
     ) -> None:
         if S is None:
             S = self._default_size(protocol, t)
@@ -142,7 +148,8 @@ class RegisterSystem:
         ]
         self.recorder = HistoryRecorder()
         self.trace = MessageTrace()
-        self.simulator = Simulator(
+        self.engine = engine
+        self.simulator = resolve_engine(engine)(
             self.servers, policy=policy, history=self.recorder, trace=self.trace
         )
         self.writer = writer_id()

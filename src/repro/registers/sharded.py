@@ -28,6 +28,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.errors import ConfigurationError
 from repro.registers.base import ProtocolContext, RegisterProtocol, RegisterSystem, resolve_reader
 from repro.registers.multiplex import MultiplexObjectHandler, multiplex
+from repro.sim.batched import resolve_engine
 from repro.sim.network import DeliveryPolicy
 from repro.sim.process import FaultBehavior, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
@@ -61,6 +62,7 @@ class ShardedRegisterSystem:
         behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
+        engine: str = "event",
     ) -> None:
         keys = tuple(keys)
         if not keys:
@@ -107,7 +109,8 @@ class ShardedRegisterSystem:
         ]
         self.recorder = HistoryRecorder()
         self.trace = MessageTrace()
-        self.simulator = Simulator(
+        self.engine = engine
+        self.simulator = resolve_engine(engine)(
             self.servers, policy=policy, history=self.recorder, trace=self.trace
         )
         self.writers: dict[str, ProcessId] = {

@@ -35,6 +35,7 @@ from repro.registers.base import (
 from repro.registers.multiplex import MultiplexObjectHandler, multiplex
 from repro.registers.timestamps import max_candidate
 from repro.registers.transform_atomic import RegularToAtomicProtocol
+from repro.sim.batched import resolve_engine
 from repro.sim.network import DeliveryPolicy
 from repro.sim.process import FaultBehavior, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
@@ -77,6 +78,7 @@ class MultiWriterRegisterSystem:
         behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
+        engine: str = "event",
     ) -> None:
         if n_writers < 1:
             raise ConfigurationError("need at least one writer")
@@ -108,7 +110,8 @@ class MultiWriterRegisterSystem:
         ]
         self.recorder = HistoryRecorder()
         self.trace = MessageTrace()
-        self.simulator = Simulator(
+        self.engine = engine
+        self.simulator = resolve_engine(engine)(
             self.servers, policy=policy, history=self.recorder, trace=self.trace
         )
         sample = self._registers[1]
@@ -212,6 +215,7 @@ class NativeMultiWriterSystem:
         behaviors: Mapping[ProcessId, FaultBehavior] | None = None,
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
+        engine: str = "event",
     ) -> None:
         if n_writers < 1:
             raise ConfigurationError("need at least one writer")
@@ -239,7 +243,8 @@ class NativeMultiWriterSystem:
         ]
         self.recorder = HistoryRecorder()
         self.trace = MessageTrace()
-        self.simulator = Simulator(
+        self.engine = engine
+        self.simulator = resolve_engine(engine)(
             self.servers, policy=policy, history=self.recorder, trace=self.trace
         )
         self.readers = reader_ids(n_readers)

@@ -15,6 +15,7 @@ Two execution styles are provided on top of the same process abstractions:
   lower-bound constructions, which need exact per-round, per-block control.
 """
 
+from repro.sim.batched import ENGINES, BatchedSimulator, WaveQueue, resolve_engine
 from repro.sim.events import Event, EventQueue
 from repro.sim.network import DeliveryPolicy, FifoDelivery, HeldMessage, Message, Network, RandomDelivery
 from repro.sim.process import FaultBehavior, ObjectHandler, ObjectServer
@@ -23,6 +24,10 @@ from repro.sim.simulator import ClientOperation, Simulator
 from repro.sim.tracing import MessageTrace, TraceEvent
 
 __all__ = [
+    "ENGINES",
+    "BatchedSimulator",
+    "WaveQueue",
+    "resolve_engine",
     "Event",
     "EventQueue",
     "Message",

@@ -1,0 +1,477 @@
+"""Round-stepped batched simulation engine.
+
+The protocols of the paper are round-structured: a client broadcasts to all
+``S`` objects, objects reply immediately, and the client advances once a
+quorum rule is met.  The event engine (:class:`~repro.sim.simulator.Simulator`
+on an :class:`~repro.sim.events.EventQueue`) pays one heap push, one heap
+pop and one callback per message for that traffic.  The
+:class:`BatchedSimulator` executes the *same* runs in **delivery waves**
+instead: all messages due at one virtual tick form a wave, the wave is
+walked one maximal same-round *run* at a time, invocations of multi-round
+waves are grouped by destination object and fed to each object as one
+:meth:`~repro.sim.process.ObjectServer.receive_batch` call (a single
+handler/fault-behaviour dispatch per object per tick), round broadcasts go
+out through one :meth:`~repro.sim.network.Network.send_round` call, and
+reply runs resolve their round rule against the whole same-tick reply set
+instead of re-testing the rule once per message.  In-flight accounting and
+quiescence resolution collapse to one bookkeeping step per run, folded
+into the wave loop.
+
+Equivalence contract
+--------------------
+
+The batched engine is *observably identical* to the event engine — not
+merely equivalent in outcomes, but byte-identical in every artifact the
+harness exposes: recorded histories (including global step numbers), wire
+traces (event for event, in order), executed event counts, and budget
+truncation points.  Three facts make this possible:
+
+* **Within one tick nothing is causally connected.**  Every message sent at
+  tick ``T`` is delivered at ``T+1`` or later (delays are at least one),
+  so the effects of one wave entry can never be observed by another entry
+  of the same wave.  Hoisting the object-side handler work into grouped
+  batches is therefore invisible — object state is touched only by that
+  object's own (order-preserved) messages.
+* **Everything order-sensitive stays in entry order.**  The wave is walked
+  in exactly the event queue's ``(time, seq)`` order: trace events, reply
+  sends, delivery-policy consultations, history steps and round
+  terminations all happen at the same position in the run as they would
+  one heap pop at a time.  In particular a round that overshoots its
+  quorum within one tick terminates with exactly the same reply *prefix*
+  either way.
+* **A run's in-flight count can only reach zero on its last entry** (the
+  rest of the run is itself still in flight before that), so one combined
+  in-flight update per run fires the quiescence listener at exactly the
+  event path's position.
+
+The one semantic caveat is documented on the hooks themselves: custom
+:class:`~repro.sim.process.FaultBehavior`/handler overrides must stay
+object-local (they all are), since cross-object state peeking would
+observe the grouped processing order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.network import FifoDelivery, Message
+from repro.sim.rounds import RoundRecord, RoundSpec
+from repro.sim.simulator import ClientOperation, OperationStatus, Simulator
+from repro.sim.tracing import TraceKind
+
+#: The registered simulation engines, in preference order.
+ENGINES = ("event", "batched")
+
+
+def available_engines() -> tuple[str, ...]:
+    """The simulation engines addressable from ``Cluster(engine=...)``."""
+    return ENGINES
+
+
+def resolve_engine(name: str) -> type[Simulator]:
+    """The simulator class registered under engine ``name``."""
+    if name == "event":
+        return Simulator
+    if name == "batched":
+        return BatchedSimulator
+    raise ConfigurationError(
+        f"unknown engine {name!r}; available: {', '.join(ENGINES)}"
+    )
+
+
+class WaveQueue:
+    """Virtual-time buckets of scheduled work, popped one wave at a time.
+
+    Drop-in for the scheduling surface the simulator and network use
+    (``now``, ``schedule``, emptiness), but instead of a heap it keeps one
+    FIFO list per virtual tick.  Entries are either zero-argument callables
+    (operation starts) or in-transit :class:`~repro.sim.network.Message`
+    deliveries pushed through the network's delivery sinks.  Appends
+    preserve global scheduling order within each bucket — exactly the
+    ``(time, seq)`` order the event heap would pop — so a popped wave *is*
+    the event queue's per-tick segment.
+    """
+
+    __slots__ = ("_buckets", "_times", "_now")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list[Any]] = {}
+        # Min-heap of bucket times: one push per bucket *creation*, one pop
+        # per wave — scanning the bucket dict for its minimum key on every
+        # wave would cost O(pending ticks) per pop and degrade linearly on
+        # long schedules.  Times are unique while their bucket exists, so
+        # no lazy-deletion bookkeeping is needed.
+        self._times: list[int] = []
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current virtual time (time of the last popped wave)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(
+            sum(len(entry) if entry.__class__ is list else 1 for entry in bucket)
+            for bucket in self._buckets.values()
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)
+
+    def schedule(self, delay: int, action: Callable[[], Any], label: str = "") -> None:
+        """Schedule ``action`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [action]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(action)
+
+    def push_message(self, deliver_at: int, message: Message) -> None:
+        """Park ``message`` for delivery in the wave at ``deliver_at``."""
+        bucket = self._buckets.get(deliver_at)
+        if bucket is None:
+            self._buckets[deliver_at] = [message]
+            heapq.heappush(self._times, deliver_at)
+        else:
+            bucket.append(message)
+
+    def push_run(self, deliver_at: int, messages: list[Message]) -> None:
+        """Park a whole same-round message run as *one* wave entry.
+
+        The run stays a single list entry inside the bucket — the walk
+        expands it in place, in order — so a broadcast costs one append at
+        send time and zero run-boundary scanning at delivery time.
+        """
+        bucket = self._buckets.get(deliver_at)
+        if bucket is None:
+            self._buckets[deliver_at] = [messages]
+            heapq.heappush(self._times, deliver_at)
+        else:
+            bucket.append(messages)
+
+    def peek_time(self) -> int | None:
+        """Virtual time of the next wave, or None when nothing is scheduled."""
+        if not self._times:
+            return None
+        return self._times[0]
+
+    def pop_wave(self) -> list[Any]:
+        """Remove and return the earliest wave, advancing time to it."""
+        if not self._times:
+            raise SimulationError("pop from an empty wave queue")
+        time = heapq.heappop(self._times)
+        self._now = time
+        return self._buckets.pop(time)
+
+
+class BatchedSimulator(Simulator):
+    """Drop-in :class:`Simulator` executing in per-tick delivery waves.
+
+    Same construction signature, same ``invoke``/``run``/``operations``/
+    history/trace surface, byte-identical observable behaviour (see the
+    module docstring for why).  The differences are purely mechanical: the
+    heap becomes a :class:`WaveQueue`, the network's scheduled deliveries
+    flow into the wave buckets through its delivery sinks, and :meth:`run`
+    drains whole waves instead of popping events one at a time.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.network.delivery_sink = self.queue.push_message
+        self.network.delivery_batch_sink = self.queue.push_run
+        # Under the plain constant-latency FIFO policy, per-message policy
+        # dispatch, watermark bookkeeping and hold checks are provably
+        # inert, so reply sends take an inlined fast path in the walk.
+        self._fast_fifo = type(self.network.policy) is FifoDelivery
+
+    def _new_queue(self) -> WaveQueue:  # type: ignore[override]
+        return WaveQueue()
+
+    # ------------------------------------------------------------------ #
+    # Wave execution
+    # ------------------------------------------------------------------ #
+
+    def _drain(self, max_events: int | None) -> int:
+        """Run wave after wave until no work is scheduled; returns the count.
+
+        Budget semantics mirror :meth:`EventQueue.run_all` exactly: the run
+        raises once ``max_events`` entries executed with work still pending,
+        having executed precisely the same prefix of the schedule.
+
+        This is the engine's whole hot loop, fused into one frame: waves
+        average only a few entries, so per-wave function calls and attribute
+        reloads would rival the per-entry work itself.  The wave is walked
+        in event order; broadcast runs arrive as single list entries (see
+        :meth:`WaveQueue.push_run`), so a run's reply-rule resolution and
+        in-flight accounting collapse to one bookkeeping step, while
+        everything order-sensitive (trace events, reply sends, round
+        terminations) happens at its exact event-path position.
+        """
+        queue = self.queue
+        buckets = queue._buckets
+        times = queue._times
+        heappop = heapq.heappop
+        objects = self.objects
+        network = self.network
+        handlers = network._handlers
+        inflight = network._inflight
+        listener = network.quiescence_listener
+        trace = self.trace
+        trace_entries = trace.entries if trace is not None else None
+        deliver_kind = TraceKind.DELIVER
+        send_kind = TraceKind.SEND
+        drop_kind = TraceKind.DROP
+        fast_fifo = self._fast_fifo
+        latency = network.policy.latency if fast_fifo else 1
+        by_op = self._by_op
+        pending_status = OperationStatus.PENDING
+        object_batches = self._object_batches
+        budgeted = max_events is not None
+        executed = 0
+
+        while times:
+            if budgeted and executed >= max_events:
+                raise SimulationError(f"event budget of {max_events} exhausted")
+            now = heappop(times)
+            queue._now = now
+            wave = buckets.pop(now)
+            if budgeted:
+                size = 0
+                for entry in wave:
+                    size += len(entry) if entry.__class__ is list else 1
+                if executed + size > max_events:
+                    self._run_truncated(wave, max_events - executed)
+                    raise SimulationError(f"event budget of {max_events} exhausted")
+            out_bucket: list[Any] | None = None  # lazily bound next-tick bucket
+            # A single-entry wave cannot hold two invocation runs, so the
+            # grouping pre-scan is skipped outright for the common case.
+            payloads = object_batches(wave) if len(wave) > 1 else None
+
+            for entry in wave:
+                cls = entry.__class__
+                if cls is not list:
+                    if cls is not Message:
+                        entry()  # an operation-start action
+                        executed += 1
+                        continue
+                    run: Sequence[Message] = (entry,)  # slow-path single delivery
+                else:
+                    run = entry
+                executed += len(run)
+                first = run[0]
+                op_id = first.op
+                round_no = first.round_no
+                # In-flight delta of the run: −1 per finished delivery, +1
+                # per fast-path reply send (slow-path sends bump the count
+                # inside Network.send themselves).
+                delta = 0
+
+                if not first.is_reply:
+                    # Invocation run: one message per destination object.
+                    out_run: list[Message] | None = [] if fast_fifo else None
+                    for message in run:
+                        dst = message.dst
+                        if payloads is None:
+                            server = objects.get(dst)
+                            if server is None:
+                                network._deliver(message)
+                                continue
+                            # Inlined ObjectServer.receive for the hot
+                            # correct path; faulty objects keep the full
+                            # dispatch.
+                            server.messages_seen += 1
+                            if server.behavior is None:
+                                payload = server.handler.handle(server.state, message)
+                            else:
+                                payload = server.behavior.reply(
+                                    server, message,
+                                    server.handler.handle(server.state, message),
+                                )
+                        else:
+                            source = payloads.get(dst)
+                            if source is None:
+                                # Mis-addressed protocol message: take the
+                                # full event path (its own bookkeeping).
+                                network._deliver(message)
+                                continue
+                            payload = next(source)
+                        delta -= 1
+                        if trace_entries is not None:
+                            trace_entries.append((now, deliver_kind, message))
+                        if payload is None:
+                            continue
+                        reply = Message(
+                            src=dst,
+                            dst=message.src,
+                            op=op_id,
+                            round_no=round_no,
+                            tag=message.tag,
+                            payload=payload,
+                            is_reply=True,
+                        )
+                        if out_run is not None:
+                            delta += 1
+                            if trace_entries is not None:
+                                trace_entries.append((now, send_kind, reply))
+                            out_run.append(reply)
+                        else:
+                            network.send(reply)
+                    if out_run:
+                        # The run's replies form one contiguous same-round
+                        # run in the next wave — park them as one entry.
+                        if out_bucket is None:
+                            out_time = now + latency
+                            out_bucket = buckets.get(out_time)
+                            if out_bucket is None:
+                                out_bucket = buckets[out_time] = []
+                                heapq.heappush(times, out_time)
+                        out_bucket.append(out_run)
+                else:
+                    delta = -len(run)
+                    client = first.dst
+                    if client not in handlers:
+                        # Crashed/aborted client: replies dropped on the floor.
+                        if trace_entries is not None:
+                            trace_entries.extend([(now, drop_kind, m) for m in run])
+                    else:
+                        operation = by_op.get(op_id)
+                        record = None
+                        if operation is not None and operation.status is pending_status:
+                            record = self._round_record(operation, round_no)
+                        if record is None or record.terminated:
+                            # Stale replies to a finished operation or
+                            # round: observed on the wire, ignored.
+                            if trace_entries is not None:
+                                trace_entries.extend(
+                                    [(now, deliver_kind, m) for m in run]
+                                )
+                        else:
+                            rule = record.spec.rule
+                            predicate = rule.predicate
+                            min_count = rule.min_count
+                            replies = record.replies
+                            for message in run:
+                                if trace_entries is not None:
+                                    trace_entries.append((now, deliver_kind, message))
+                                # A terminated record cannot be the current
+                                # round (rounds only start after the
+                                # previous one terminates), so this one
+                                # check replaces the event path's status +
+                                # currency checks.
+                                if record.terminated:
+                                    continue
+                                src = message.src
+                                if src in replies:
+                                    continue
+                                replies[src] = message.payload
+                                if len(replies) >= min_count and (
+                                    predicate is None or predicate(replies)
+                                ):
+                                    self._finish_round(operation, record, quiesced=False)
+
+                if delta:
+                    # Batched in-flight accounting for the run.  The count
+                    # can only reach zero on the run's last entry (earlier
+                    # entries leave the rest of the run itself in flight),
+                    # so one update at the end fires quiescence at exactly
+                    # the event path's position.
+                    key = (op_id, round_no)
+                    remaining = inflight.get(key, -delta) + delta
+                    if remaining > 0:
+                        inflight[key] = remaining
+                    else:
+                        inflight.pop(key, None)
+                        if listener is not None:
+                            listener(op_id, round_no)
+        return executed
+
+    def _run_truncated(self, wave: list[Any], budget: int) -> None:
+        """Execute exactly ``budget`` entries of ``wave`` the event way.
+
+        The budget ends inside this wave, so the admissible prefix replays
+        through the per-entry event path — no batching, since entries past
+        the cut must not have run their handlers.
+        """
+        deliver = self.network._deliver
+        done = 0
+        for entry in wave:
+            for item in entry if entry.__class__ is list else (entry,):
+                if done >= budget:
+                    return
+                if item.__class__ is Message:
+                    deliver(item)
+                else:
+                    item()
+                done += 1
+
+    def _object_batches(self, wave: list[Any]) -> dict[Any, Any] | None:
+        """Per-object reply iterators when grouping pays off, else None.
+
+        Grouping invocations by destination (one ``receive_batch`` — one
+        handler and one fault-behaviour dispatch — per object per tick)
+        only amortizes anything when an object receives more than one
+        message in the wave, i.e. when invocation runs of more than one
+        round land together (concurrent clients, sharded multiplexing).  A
+        wave carrying a single round's broadcast addresses each object
+        once, so it skips the grouping machinery entirely.
+        """
+        objects = self.objects
+        runs = 0
+        for entry in wave:
+            if entry.__class__ is list and not entry[0].is_reply:
+                runs += 1
+                if runs > 1:
+                    break
+        else:
+            return None
+        groups: dict[Any, list[Message]] = {}
+        for entry in wave:
+            if entry.__class__ is list and not entry[0].is_reply:
+                for message in entry:
+                    dst = message.dst
+                    if dst in objects:
+                        group = groups.get(dst)
+                        if group is None:
+                            groups[dst] = [message]
+                        else:
+                            group.append(message)
+        # Hoisting the handler work ahead of the walk is safe: object state
+        # is invisible to every other entry of the same wave (nothing sent
+        # at tick T is seen before T+1).
+        return {
+            pid: iter(objects[pid].receive_batch(batch))
+            for pid, batch in groups.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Round starts: one batched send per broadcast
+    # ------------------------------------------------------------------ #
+
+    def _start_round(self, operation: ClientOperation, spec: RoundSpec) -> None:
+        round_no = len(operation.rounds) + 1
+        record = RoundRecord(spec=spec, round_no=round_no, started_at=self.queue.now)
+        operation.rounds.append(record)
+        destinations: Iterable[Any] = spec.destinations or self.object_ids
+        client = operation.client
+        op_id = operation.op_id
+        tag = spec.tag
+        payload = spec.payload
+        if spec.per_object_payload is None:
+            messages = [
+                Message(src=client, dst=dst, op=op_id, round_no=round_no,
+                        tag=tag, payload=payload)
+                for dst in destinations
+            ]
+        else:
+            messages = [
+                Message(src=client, dst=dst, op=op_id, round_no=round_no,
+                        tag=tag, payload=spec.payload_for(dst))
+                for dst in destinations
+            ]
+        self.network.send_round(messages)

@@ -13,20 +13,25 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ChannelError
 from repro.sim.events import EventQueue
 from repro.types import OperationId, ProcessId
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Message:
     """One message between a client and an object.
 
     ``op``/``round_no``/``tag`` identify the protocol round the message
     belongs to; ``payload`` is the protocol-specific content.  ``is_reply``
     distinguishes an object's response from a client's invocation.
+
+    Treated as immutable by convention but deliberately not ``frozen``:
+    one instance is allocated per message on the wire, and the frozen
+    ``object.__setattr__`` construction path costs measurably more on the
+    simulator's hottest allocation site.  Messages are never hashed.
     """
 
     src: ProcessId
@@ -136,6 +141,13 @@ class Network:
         # lets "wait for all plausibly-correct replies" resolve mid-run.
         self._inflight: dict[tuple[Any, int], int] = {}
         self.quiescence_listener: Callable[[Any, int], None] | None = None
+        # Batch hooks: when set, scheduled deliveries are handed to the sink
+        # as ``(deliver_at, message)`` — and whole broadcasts as
+        # ``(deliver_at, messages)`` — instead of becoming per-message queue
+        # events.  The batched engine points these at its wave buckets; the
+        # event engine leaves them None and keeps the heap path.
+        self.delivery_sink: Callable[[int, Message], None] | None = None
+        self.delivery_batch_sink: Callable[[int, Sequence[Message]], None] | None = None
 
     def attach(self, pid: ProcessId, handler: Callable[[Message], None]) -> None:
         """Register the message handler of process ``pid``."""
@@ -198,7 +210,48 @@ class Network:
         self._fifo_watermark[channel] = deliver_at
         round_key = (message.op, message.round_no)
         self._inflight[round_key] = self._inflight.get(round_key, 0) + 1
+        if self.delivery_sink is not None:
+            self.delivery_sink(deliver_at, message)
+            return
         self._queue.schedule(deliver_at - now, partial(self._deliver, message))
+
+    def send_round(self, messages: Sequence[Message]) -> None:
+        """Send one round's whole broadcast in a single call.
+
+        The batched engine's send hook: every message must belong to the
+        same ``(op, round)`` — exactly what a round start produces.
+        Semantically identical to calling :meth:`send` once per message in
+        order.  Under the plain FIFO policy the per-message policy dispatch
+        and watermark bookkeeping are provably inert (every delay is the
+        same constant, so channel FIFO holds by monotonicity of virtual
+        time and nothing is ever held), and the shared round key means the
+        whole broadcast is one trace extend, one in-flight bump and one
+        bucket extend; any other policy flows through the full :meth:`send`
+        semantics message by message.
+        """
+        policy = self.policy
+        if type(policy) is not FifoDelivery:
+            for message in messages:
+                self.send(message)
+            return
+        if not messages:
+            return
+        now = self._queue.now
+        if self.trace is not None:
+            self.trace.record_send_batch(now, messages)
+        first = messages[0]
+        round_key = (first.op, first.round_no)
+        inflight = self._inflight
+        inflight[round_key] = inflight.get(round_key, 0) + len(messages)
+        deliver_at = now + policy.latency
+        batch_sink = self.delivery_batch_sink
+        if batch_sink is not None:
+            batch_sink(deliver_at, messages)
+            return
+        schedule = self._queue.schedule
+        latency = policy.latency
+        for message in messages:
+            schedule(latency, partial(self._deliver, message))
 
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)
@@ -210,6 +263,15 @@ class Network:
             # A crashed/detached client: the message is dropped on the floor,
             # which is indistinguishable from the client never reading it.
             self.trace.record_drop(self._queue.now, message)
+        self.finish_delivery(message)
+
+    def finish_delivery(self, message: Message) -> None:
+        """Post-delivery bookkeeping: in-flight counts and round quiescence.
+
+        Factored out of :meth:`_deliver` so the batched engine (which
+        dispatches deliveries itself, wave by wave) shares the exact
+        quiescence-notification semantics of the event path.
+        """
         round_key = (message.op, message.round_no)
         remaining = self._inflight.get(round_key, 1) - 1
         if remaining > 0:

@@ -11,7 +11,7 @@ behaviour (if any), state snapshotting, and network plumbing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.sim.network import Message, Network
 from repro.types import ProcessId
@@ -52,6 +52,19 @@ class ObjectHandler:
         """Apply ``message`` to ``state`` and return the reply payload."""
         raise NotImplementedError
 
+    def handle_batch(
+        self, state: dict[str, Any], messages: Sequence[Message]
+    ) -> list[Mapping[str, Any]]:
+        """Apply a same-tick delivery wave; one reply payload per message.
+
+        The default applies :meth:`handle` sequentially, which is exactly
+        what the event engine does one dispatch at a time — handlers with
+        wave-amortizable work (shared lookups, batched state updates) may
+        override, as long as the sequential state evolution is preserved.
+        """
+        handle = self.handle
+        return [handle(state, message) for message in messages]
+
 
 class FaultBehavior:
     """How a faulty object deviates from its handler.
@@ -69,6 +82,20 @@ class FaultBehavior:
         honest_payload: Mapping[str, Any],
     ) -> Mapping[str, Any] | None:
         raise NotImplementedError
+
+    def reply_batch(
+        self, server: "ObjectServer", messages: Sequence[Message]
+    ) -> list[Mapping[str, Any] | None]:
+        """Process a same-tick wave addressed to a faulty object.
+
+        The default funnels every message through the ordinary
+        :meth:`ObjectServer.receive` path, so stateful behaviours observe
+        the identical per-message interleaving of counter increments, state
+        transitions and reply decisions they would see under the event
+        engine — batching must never change what a fault does.
+        """
+        receive = server.receive
+        return [receive(message) for message in messages]
 
     def describe(self) -> str:
         """Human-readable label used by traces and diagrams."""
@@ -124,6 +151,22 @@ class ObjectServer:
         if self.behavior is None:
             return honest
         return self.behavior.reply(self, message, honest)
+
+    def receive_batch(
+        self, messages: Sequence[Message]
+    ) -> list[Mapping[str, Any] | None]:
+        """Process a whole same-tick delivery wave; one payload per message.
+
+        Correct objects take the batch through a single
+        :meth:`ObjectHandler.handle_batch` call (the batched engine's
+        amortized hot path).  Faulty objects delegate to
+        :meth:`FaultBehavior.reply_batch`, whose default preserves the exact
+        per-message semantics of :meth:`receive` for arbitrary behaviours.
+        """
+        if self.behavior is None:
+            self.messages_seen += len(messages)
+            return self.handler.handle_batch(self.state, messages)
+        return self.behavior.reply_batch(self, messages)
 
     def attach(self, network: Network) -> None:
         """Wire this object into ``network``: reply to every delivery."""

@@ -85,7 +85,7 @@ class Simulator:
     ) -> None:
         if not objects:
             raise SimulationError("a storage system needs at least one object")
-        self.queue = EventQueue()
+        self.queue = self._new_queue()
         self.trace = trace
         self.network = Network(self.queue, policy=policy, trace=trace)
         self.network.quiescence_listener = self._on_round_quiescent
@@ -98,6 +98,12 @@ class Simulator:
         self.history = history
         self.operations: list[ClientOperation] = []
         self._by_op: dict[OperationId, ClientOperation] = {}
+        # Live index of still-pending operations (insertion-ordered, so it
+        # iterates exactly like filtering ``self.operations`` by status).
+        # Long sharded/explore runs resolve quiescence many times; scanning
+        # every operation ever invoked on each fixed point is O(total ops)
+        # per drain cycle, while this map shrinks as operations finish.
+        self._pending: dict[OperationId, ClientOperation] = {}
         self._attached_clients: set[ProcessId] = set()
         self._busy_clients: set[ProcessId] = set()
         # Clients are sequential: invoking while an operation is outstanding
@@ -110,6 +116,10 @@ class Simulator:
         # The object population is fixed at construction; cache the sorted
         # view once instead of re-sorting on every broadcast.
         self._object_ids: tuple[ProcessId, ...] = tuple(sorted(self.objects))
+
+    def _new_queue(self) -> EventQueue:
+        """The scheduling structure this engine runs on (overridable)."""
+        return EventQueue()
 
     # ------------------------------------------------------------------ #
     # Invocation and progress
@@ -153,12 +163,14 @@ class Simulator:
         )
         self.operations.append(operation)
         self._by_op[op_id] = operation
+        self._pending[op_id] = operation
         self._ensure_client_attached(client)
 
         def start() -> None:
             if operation.client in self._busy_clients:
                 if self.skip_busy_invocations:
                     operation.status = OperationStatus.ABORTED
+                    self._pending.pop(operation.op_id, None)
                     return
                 raise ProtocolError(
                     f"{operation.client} invoked {op_id} while another operation is outstanding"
@@ -178,6 +190,7 @@ class Simulator:
         """Crash the client of ``operation``: it stops taking steps."""
         if operation.status is OperationStatus.PENDING:
             operation.status = OperationStatus.ABORTED
+            self._pending.pop(operation.op_id, None)
             self._busy_clients.discard(operation.client)
             self.network.detach(operation.client)
             self._attached_clients.discard(operation.client)
@@ -193,9 +206,13 @@ class Simulator:
         executed = 0
         while True:
             remaining = None if max_events is None else max_events - executed
-            executed += self.queue.run_all(max_events=remaining)
+            executed += self._drain(remaining)
             if not self._resolve_quiescence():
                 return executed
+
+    def _drain(self, max_events: int | None) -> int:
+        """Execute scheduled work until none is left; returns the count."""
+        return self.queue.run_all(max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -281,6 +298,7 @@ class Simulator:
         operation.status = OperationStatus.COMPLETE
         operation.result = result
         operation.completed_at = self.queue.now
+        self._pending.pop(operation.op_id, None)
         self._busy_clients.discard(operation.client)
         if self.history is not None:
             self.history.record_response(operation.op_id, value=result, time=self.queue.now)
@@ -308,7 +326,10 @@ class Simulator:
     def _resolve_quiescence(self) -> bool:
         """Offer quiesced termination to pending rounds; True if any advanced."""
         progressed = False
-        for operation in self.operations:
+        # Snapshot: finishing a round may complete the operation (mutating
+        # the pending map); the status re-check below keeps the semantics of
+        # the old full-list scan, which also saw statuses change mid-loop.
+        for operation in list(self._pending.values()):
             if operation.status is not OperationStatus.PENDING:
                 continue
             record = operation.current_round
@@ -329,7 +350,7 @@ class Simulator:
 
     def pending_operations(self) -> list[ClientOperation]:
         """Operations that have neither completed nor aborted."""
-        return [op for op in self.operations if op.status is OperationStatus.PENDING]
+        return list(self._pending.values())
 
     def completed_operations(self) -> list[ClientOperation]:
         """Operations that returned a result."""

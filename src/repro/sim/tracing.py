@@ -96,22 +96,47 @@ def _freeze(payload: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
 
 
 class MessageTrace:
-    """Trace sink handed to :class:`~repro.sim.network.Network`."""
+    """Trace sink handed to :class:`~repro.sim.network.Network`.
+
+    Recording sits on the simulator's per-message hot path, so observations
+    are kept as plain ``(time, kind, message)`` tuples in :attr:`entries`;
+    the :class:`TraceEvent` view the public API exposes is materialized
+    lazily (and cached) by :attr:`events`.  Both views present the same
+    record in the same order.
+    """
+
+    __slots__ = ("entries", "_materialized")
 
     def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+        #: The raw log: ``(time, TraceKind, Message)`` tuples in record order.
+        self.entries: list[tuple[int, TraceKind, Message]] = []
+        self._materialized: list[TraceEvent] | None = None
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded observations as :class:`TraceEvent` objects."""
+        cached = self._materialized
+        if cached is None or len(cached) != len(self.entries):
+            cached = [TraceEvent(*entry) for entry in self.entries]
+            self._materialized = cached
+        return cached
 
     def record_send(self, time: int, message: Message) -> None:
-        self.events.append(TraceEvent(time, TraceKind.SEND, message))
+        self.entries.append((time, TraceKind.SEND, message))
+
+    def record_send_batch(self, time: int, messages: Iterable[Message]) -> None:
+        """Record one same-tick broadcast in a single list extend."""
+        kind = TraceKind.SEND
+        self.entries.extend([(time, kind, m) for m in messages])
 
     def record_hold(self, time: int, message: Message) -> None:
-        self.events.append(TraceEvent(time, TraceKind.HOLD, message))
+        self.entries.append((time, TraceKind.HOLD, message))
 
     def record_delivery(self, time: int, message: Message) -> None:
-        self.events.append(TraceEvent(time, TraceKind.DELIVER, message))
+        self.entries.append((time, TraceKind.DELIVER, message))
 
     def record_drop(self, time: int, message: Message) -> None:
-        self.events.append(TraceEvent(time, TraceKind.DROP, message))
+        self.entries.append((time, TraceKind.DROP, message))
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -120,19 +145,19 @@ class MessageTrace:
     def delivered_to(self, pid: ProcessId) -> list[Message]:
         """Messages actually delivered to ``pid``, in delivery order."""
         return [
-            event.message
-            for event in self.events
-            if event.kind is TraceKind.DELIVER and event.message.dst == pid
+            message
+            for _, kind, message in self.entries
+            if kind is TraceKind.DELIVER and message.dst == pid
         ]
 
     def replies_for_operation(self, op_id: OperationId) -> list[Message]:
         """Replies delivered to the invoking client of ``op_id``."""
         return [
-            event.message
-            for event in self.events
-            if event.kind is TraceKind.DELIVER
-            and event.message.is_reply
-            and event.message.op == op_id
+            message
+            for _, kind, message in self.entries
+            if kind is TraceKind.DELIVER
+            and message.is_reply
+            and message.op == op_id
         ]
 
     def client_transcript(self, op_id: OperationId) -> tuple[TranscriptEntry, ...]:
@@ -148,21 +173,21 @@ class MessageTrace:
     def messages_between(self, src: ProcessId, dst: ProcessId) -> list[Message]:
         """All sends from ``src`` to ``dst`` in send order."""
         return [
-            event.message
-            for event in self.events
-            if event.kind is TraceKind.SEND
-            and event.message.src == src
-            and event.message.dst == dst
+            message
+            for _, kind, message in self.entries
+            if kind is TraceKind.SEND
+            and message.src == src
+            and message.dst == dst
         ]
 
     def round_trip_count(self, op_id: OperationId) -> int:
         """Rounds observed on the wire for ``op_id`` (max round number sent)."""
         rounds = {
-            event.message.round_no
-            for event in self.events
-            if event.kind is TraceKind.SEND
-            and not event.message.is_reply
-            and event.message.op == op_id
+            message.round_no
+            for _, kind, message in self.entries
+            if kind is TraceKind.SEND
+            and not message.is_reply
+            and message.op == op_id
         }
         return max(rounds, default=0)
 
@@ -173,6 +198,35 @@ def merge_transcripts(traces: Iterable[MessageTrace], op_id: OperationId) -> tup
     for trace in traces:
         entries.extend(trace.client_transcript(op_id))
     return tuple(sorted(entries, key=lambda e: (e.round_no, e.source, e.payload_items)))
+
+
+def trace_fingerprint(trace: MessageTrace) -> str:
+    """Canonical digest of a full wire trace.
+
+    The load-bearing equality oracle of the harness: the schedule explorer
+    uses it as its partial-order-reduction key and witness replay check,
+    and the engine-equivalence suite and benchmarks assert event-vs-batched
+    byte-identity through it.  Two traces fingerprint equal exactly when
+    they recorded the same observations in the same order.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for time, kind, message in trace.entries:
+        digest.update(repr((
+            time,
+            kind.value,
+            str(message.src),
+            str(message.dst),
+            message.op.serial,
+            message.op.kind,
+            str(message.op.client),
+            message.round_no,
+            message.tag,
+            message.is_reply,
+            _freeze(message.payload),
+        )).encode("utf-8", "backslashreplace"))
+    return digest.hexdigest()[:24]
 
 
 def dump_trace_jsonl(trace: MessageTrace, sink, extra: Mapping[str, Any] | None = None) -> int:

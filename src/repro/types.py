@@ -28,16 +28,52 @@ class Role(enum.Enum):
     READER = "reader"
 
 
-@dataclass(frozen=True, slots=True, order=True)
+@dataclass(frozen=True, slots=True)
 class ProcessId:
     """Identifier of a process: a role plus an index within that role.
 
     Ordering is lexicographic on ``(role.value, index)`` which gives the
-    deterministic iteration orders the simulator relies on.
+    deterministic iteration orders the simulator relies on.  The comparison
+    methods are hand-written: every terminated round sorts its repliers,
+    and the dataclass-generated operators allocate two field tuples per
+    comparison.
     """
 
     role_value: str
     index: int
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        return self.index == other.index and self.role_value == other.role_value
+
+    def __lt__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        role = self.role_value
+        other_role = other.role_value
+        return role < other_role or (role == other_role and self.index < other.index)
+
+    def __le__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        role = self.role_value
+        other_role = other.role_value
+        return role < other_role or (role == other_role and self.index <= other.index)
+
+    def __gt__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        role = self.role_value
+        other_role = other.role_value
+        return role > other_role or (role == other_role and self.index > other.index)
+
+    def __ge__(self, other: "ProcessId") -> bool:
+        if other.__class__ is not ProcessId:
+            return NotImplemented
+        role = self.role_value
+        other_role = other.role_value
+        return role > other_role or (role == other_role and self.index >= other.index)
 
     @property
     def role(self) -> Role:
@@ -80,7 +116,7 @@ def reader_ids(count: int) -> tuple[ProcessId, ...]:
     return tuple(reader_id(i) for i in range(1, count + 1))
 
 
-@dataclass(frozen=True, slots=True, order=True)
+@dataclass(frozen=True, slots=True)
 class Timestamp:
     """Logical timestamp ordering the writes of a run.
 
@@ -88,10 +124,60 @@ class Timestamp:
     it).  The multi-writer transformation breaks ties with ``writer`` (the
     client index), giving the usual lexicographic MWMR order.  ``seq == 0``
     is reserved for the initial value ⊥.
+
+    Ordering is lexicographic on ``(seq, writer)``.  The comparison methods
+    are hand-written rather than dataclass-generated: protocols compare
+    timestamps once per delivered message (every STORE/WRITE handler runs
+    ``incoming.ts > state[...].ts``), and the generated operators allocate
+    two field tuples per comparison on that hot path.  The hash is
+    precomputed: voucher counting hashes timestamps (inside tagged values)
+    several times per terminated round, and both fields are ints, so the
+    cached value is process-independent (safe under pickling, unlike
+    anything involving seeded string hashes).
     """
 
     seq: int
     writer: int = 0
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.seq, self.writer)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Timestamp:
+            return NotImplemented
+        return self.seq == other.seq and self.writer == other.writer
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if other.__class__ is not Timestamp:
+            return NotImplemented
+        seq = self.seq
+        other_seq = other.seq
+        return seq < other_seq or (seq == other_seq and self.writer < other.writer)
+
+    def __le__(self, other: "Timestamp") -> bool:
+        if other.__class__ is not Timestamp:
+            return NotImplemented
+        seq = self.seq
+        other_seq = other.seq
+        return seq < other_seq or (seq == other_seq and self.writer <= other.writer)
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        if other.__class__ is not Timestamp:
+            return NotImplemented
+        seq = self.seq
+        other_seq = other.seq
+        return seq > other_seq or (seq == other_seq and self.writer > other.writer)
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        if other.__class__ is not Timestamp:
+            return NotImplemented
+        seq = self.seq
+        other_seq = other.seq
+        return seq > other_seq or (seq == other_seq and self.writer >= other.writer)
 
     @classmethod
     def zero(cls) -> "Timestamp":
@@ -114,6 +200,13 @@ class TaggedValue:
 
     ts: Timestamp
     value: Any
+
+    def __eq__(self, other: object) -> bool:
+        # Hand-written for the voucher-counting hot path: the generated
+        # dataclass __eq__ allocates two field tuples per comparison.
+        if other.__class__ is not TaggedValue:
+            return NotImplemented
+        return self.ts == other.ts and self.value == other.value
 
     @classmethod
     def initial(cls) -> "TaggedValue":

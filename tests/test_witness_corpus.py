@@ -1,0 +1,70 @@
+"""Witness regression corpus: committed refutations must keep reproducing.
+
+``tests/witnesses/`` holds minimized :class:`ScheduleWitness` JSON files —
+executable counterexamples the schedule explorer once discovered.  Each is
+replayed here on **both** simulation engines; a failure means either the
+violation no longer reproduces (a silent protocol/simulator behaviour
+change) or the wire-trace fingerprint drifted (the run is no longer
+byte-identical to the recorded discovery).  CI replays the corpus through
+``repro replay`` as well, so drift fails the build twice over.
+
+Regenerating after an *intentional* semantic change::
+
+    PYTHONPATH=src python -m repro explore --protocol atomic-fast-regular \
+        --t 1 --S 4 --faults stale-echo --count 2 --allow-overfault \
+        --ops 2 --reads 0.5 --max-holds 2 \
+        --witness tests/witnesses/stale_read.json --expect-violation
+
+(then review the diff — a fingerprint change must be explainable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.explore import ScheduleWitness
+from repro.sim.batched import ENGINES
+
+WITNESS_DIR = Path(__file__).parent / "witnesses"
+WITNESS_FILES = sorted(WITNESS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert WITNESS_FILES, "tests/witnesses/ lost its committed witnesses"
+
+
+@pytest.mark.parametrize("path", WITNESS_FILES, ids=lambda p: p.stem)
+def test_witness_round_trips(path):
+    witness = ScheduleWitness.load(path)
+    assert ScheduleWitness.from_json(witness.to_json()) == witness
+
+
+@pytest.mark.parametrize("path", WITNESS_FILES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_witness_reproduces_on_engine(path, engine):
+    """The recorded violation replays byte-identically on every engine."""
+    witness = ScheduleWitness.load(path)
+    witness = dataclasses.replace(
+        witness, probe=dataclasses.replace(witness.probe, engine=engine)
+    )
+    outcome = witness.replay()
+    assert outcome.failures == witness.failures, (
+        f"{path.name}: recorded violation no longer reproduces on the "
+        f"{engine} engine — a behaviour change reached a certified "
+        f"counterexample"
+    )
+    assert outcome.trace_hash == witness.trace_hash, (
+        f"{path.name}: wire-trace fingerprint drifted on the {engine} "
+        f"engine (recorded {witness.trace_hash}, replayed {outcome.trace_hash})"
+    )
+
+
+def test_stale_read_witness_shape():
+    """The canonical stale-read witness stays minimal: one held link."""
+    witness = ScheduleWitness.load(WITNESS_DIR / "stale_read.json")
+    assert witness.probe.protocol == "atomic-fast-regular"
+    assert len(witness.decisions) == 1
+    assert witness.failures and witness.failures[0][0] == "atomicity"
