@@ -26,7 +26,12 @@ trajectory to beat.  Four meters:
   schedule space) and one refutation sweep (an under-provisioned
   fast-read stack whose known atomicity violation the run *asserts* is
   found, minimized, and replayed byte-identically); the certification
-  sweep runs on both simulation engines with asserted outcome parity.
+  sweep runs on both simulation engines with asserted outcome parity;
+* **storage** — the durability seam: ops/sec of a crash-recover run on
+  both engines with *asserted* result parity, the run-time overhead of
+  the ``mem`` and ``dir`` durability levels against a ``none`` baseline,
+  and the retained-space meter on a superseded-value workload (the run
+  *asserts* GC shrinks retention).
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -64,7 +69,7 @@ from repro.types import ProcessId, fresh_operation_id, reader_id, scoped_operati
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -489,6 +494,116 @@ def bench_explore(quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Storage seam: recovery parity, durability overhead, retained space
+# --------------------------------------------------------------------- #
+
+
+def bench_storage(quick: bool) -> dict:
+    """The durability seam: recovery parity, overhead, and retained space.
+
+    Three cells.  **recovery** runs a crash-recovering ABD cluster on both
+    simulation engines and *asserts* byte-identical ``RunResult.to_dict()``
+    payloads (the engine tag aside), timing each engine.  **overhead**
+    replays one fault-free workload at every durability level and reports
+    run time relative to the ``durability="none"`` baseline.  **meter**
+    runs a writes-only (every value superseded) workload and reports the
+    space meter's figures, *asserting* that GC shrinks both bytes and
+    distinct timestamps retained — so CI fails on a durability-semantics
+    regression, never on timing.
+    """
+    operations = 12 if quick else 60
+    trials = 2 if quick else 5
+
+    def recovering(engine: str) -> Cluster:
+        return (
+            Cluster("abd", t=1, n_readers=3, engine=engine, durability="mem")
+            .with_faults("crash-recover", survive_messages=4, rejoin_after=2)
+            .with_workload(operations=operations, spacing=40)
+            .check("atomicity")
+        )
+
+    recovery_cells = {}
+    payloads = {}
+    for engine in ENGINES:
+        started = time.perf_counter()
+        result = recovering(engine).run(trials=trials, seed=7, keep_history=False)
+        seconds = time.perf_counter() - started
+        assert result.ok, f"crash-recover run failed on {engine}: {result.failures()}"
+        payload = result.to_dict()
+        payload.pop("engine", None)
+        payloads[engine] = json.dumps(payload, sort_keys=True)
+        total_ops = trials * operations
+        recovery_cells[engine] = {
+            "operations": total_ops,
+            "seconds": round(seconds, 4),
+            "ops_per_sec": round(total_ops / seconds, 1),
+        }
+    # Parity gate: recovery must be invisible to the equivalence contract.
+    assert payloads["batched"] == payloads["event"], (
+        "crash-recover run diverged between the event and batched engines"
+    )
+
+    def plain(durability: str) -> Cluster:
+        return (
+            Cluster("abd", t=1, n_readers=3, durability=durability)
+            .with_workload(operations=operations, spacing=40)
+            .check("atomicity")
+        )
+
+    overhead = {}
+    baseline_seconds = None
+    for durability in ("none", "mem", "dir"):
+        started = time.perf_counter()
+        result = plain(durability).run(trials=trials, seed=9, keep_history=False)
+        seconds = time.perf_counter() - started
+        assert result.ok
+        cell = {"seconds": round(seconds, 4)}
+        if durability == "none":
+            baseline_seconds = seconds
+        else:
+            cell["relative"] = round(seconds / baseline_seconds, 2)
+        overhead[durability] = cell
+
+    meter_result = (
+        Cluster("abd", t=1, durability="mem")
+        .with_workload(operations=operations, reads=0.0, spacing=30)
+        .check("atomicity")
+        .run(trials=1, seed=11, keep_history=False)
+    )
+    assert meter_result.ok
+    meter = meter_result.trials[0].storage
+    # Semantics gate: a writes-only workload supersedes every earlier
+    # value, so compaction must reclaim space and old timestamps.
+    assert meter["gc_retained_bytes"] < meter["retained_bytes"], (
+        "space-meter GC failed to shrink a superseded-value journal"
+    )
+    assert meter["gc_retained_timestamps"] < meter["retained_timestamps"], (
+        "space-meter GC failed to drop superseded timestamps"
+    )
+
+    return {
+        "operations_per_run": operations,
+        "trials": trials,
+        "recovery": {
+            "engines": recovery_cells,
+            "identical_results": True,  # asserted above
+        },
+        "overhead": overhead,
+        "meter": {
+            "workload": "writes-only (every value superseded)",
+            "retained_bytes": meter["retained_bytes"],
+            "retained_records": meter["retained_records"],
+            "retained_timestamps": meter["retained_timestamps"],
+            "gc_retained_bytes": meter["gc_retained_bytes"],
+            "gc_retained_records": meter["gc_retained_records"],
+            "gc_retained_timestamps": meter["gc_retained_timestamps"],
+            "gc_freed_bytes": meter["gc_freed_bytes"],
+            "gc_shrinks_retention": True,  # asserted above
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -505,6 +620,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "sweep": bench_sweep(quick, trials=trials, workers=workers),
         "sharded": bench_sharded(quick),
         "explore": bench_explore(quick),
+        "storage": bench_storage(quick),
     }
     return report
 
@@ -551,6 +667,15 @@ def main(argv: list[str] | None = None) -> int:
     print(f"            certify meter: {certify_engines['event']['schedules_per_sec']:,} "
           f"schedules/sec event vs {certify_engines['batched']['schedules_per_sec']:,} "
           f"batched ({explore['certify']['batched_speedup']}x, identical outcomes)")
+    storage = report["storage"]
+    meter = storage["meter"]
+    print(f"storage   : {storage['recovery']['engines']['event']['ops_per_sec']:>10,} "
+          f"ops/sec crash-recover (identical across engines); durability "
+          f"overhead mem {storage['overhead']['mem']['relative']}x, "
+          f"dir {storage['overhead']['dir']['relative']}x; GC "
+          f"{meter['retained_bytes']:,} -> {meter['gc_retained_bytes']:,} bytes, "
+          f"{meter['retained_timestamps']} -> {meter['gc_retained_timestamps']} "
+          f"timestamp(s) retained")
     print(f"[saved to {args.output}]")
     return 0
 

@@ -14,8 +14,12 @@ Commands:
                                       multi-writer, sharded, and plugins.
 * ``list-scenarios`` [--t T]        — the scenario registry: fault plans and
                                       workload shapes at threshold ``t``.
+* ``list-faults``                   — the fault-behaviour registry: crash,
+                                      Byzantine echoes, and the crash-recover
+                                      family (needs ``--durability``).
 * ``run`` --protocol NAME [--backend NAME] [--keys N] [--writers N]
-  [--faults NAME] [--t T] [--trials N] [--parallel] [--jsonl PATH] … —
+  [--faults NAME [--fault-arg K=V]...] [--durability none|mem|dir]
+  [--t T] [--trials N] [--parallel] [--jsonl PATH] … —
   build a registry-driven experiment through the :class:`repro.api.Cluster`
   facade, run it (optionally on a process pool), print per-trial latencies
   and consistency-check verdicts, and optionally append the structured
@@ -163,6 +167,26 @@ def _cmd_list_backends(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_faults(_args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.api import fault_specs
+
+    rows = []
+    for spec in fault_specs():
+        rows.append({
+            "name": spec.name,
+            "model": spec.model,
+            "aliases": ", ".join(spec.aliases) or "-",
+            "description": spec.description,
+        })
+    print(format_table(
+        "registered fault behaviours",
+        ("name", "model", "aliases", "description"),
+        rows,
+    ))
+    return 0
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     from repro.analysis.tables import format_table
     from repro.workloads.scenarios import available_scenarios, get_scenario
@@ -193,6 +217,8 @@ def _cluster_from_args(args: argparse.Namespace):
     Flags one subcommand lacks (``--scenario``, ``--allow-overfault``,
     ``--key-skew``) fall back to their no-op defaults via ``getattr``.
     """
+    import json
+
     from repro.api import Cluster
     from repro.errors import ConfigurationError
 
@@ -205,14 +231,29 @@ def _cluster_from_args(args: argparse.Namespace):
         keys=args.keys,
         n_writers=args.writers_count,
         engine=args.engine,
+        durability=getattr(args, "durability", "none"),
         allow_overfault=getattr(args, "allow_overfault", False),
     )
     if getattr(args, "scenario", None):
         cluster = cluster.with_scenario(args.scenario)
+    fault_kwargs = {}
+    for item in getattr(args, "fault_arg", None) or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(f"--fault-arg expects KEY=VALUE, got {item!r}")
+        try:
+            parsed = json.loads(value)  # numbers/bools; bare words stay strings
+        except json.JSONDecodeError:
+            parsed = value
+        fault_kwargs[key.replace("-", "_")] = parsed
     if args.faults:
-        cluster = cluster.with_faults(args.faults, count=args.count, strict=args.strict)
-    elif args.count != 1 or args.strict:
-        raise ConfigurationError("--count/--strict have no effect without --faults")
+        cluster = cluster.with_faults(
+            args.faults, count=args.count, strict=args.strict, **fault_kwargs
+        )
+    elif fault_kwargs or args.count != 1 or args.strict:
+        raise ConfigurationError(
+            "--fault-arg/--count/--strict have no effect without --faults"
+        )
     return cluster.with_workload(reads=args.reads, spacing=args.spacing,
                                  operations=args.ops,
                                  key_skew=getattr(args, "key_skew", None))
@@ -284,7 +325,8 @@ def _load_jsonl(path: str) -> dict[tuple, dict]:
             key = (record.get("protocol"), record.get("scenario"),
                    record.get("t"), record.get("n_readers"),
                    record.get("backend", "single"), record.get("keys", 1),
-                   record.get("writers", 1), record.get("engine", "event"))
+                   record.get("writers", 1), record.get("engine", "event"),
+                   record.get("durability", "none"))
             runs[key] = record
     return runs
 
@@ -309,6 +351,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             label += f" [{key[4]}, {key[5]} key(s), {key[6]} writer(s)]"
         if key[7] != "event":
             label += f" [engine={key[7]}]"
+        if key[8] != "none":
+            label += f" [durability={key[8]}]"
         for metric in ("worst_write", "worst_read", "incomplete"):
             old, new = a.get(metric, 0), b.get(metric, 0)
             if new > old:
@@ -435,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list-protocols", help="show the protocol registry")
     sub.add_parser("list-backends", help="show the system-backend registry")
+    sub.add_parser("list-faults", help="show the fault-behaviour registry")
 
     scenarios = sub.add_parser("list-scenarios", help="show the scenario registry")
     scenarios.add_argument("--t", type=int, default=1,
@@ -453,11 +498,19 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--engine", choices=("event", "batched"), default="event",
                      help="simulation engine (batched: wave-stepped, "
                           "identical results, faster)")
+    run.add_argument("--durability", choices=("none", "mem", "dir"), default="none",
+                     help="object-state durability (mem: in-memory journal, "
+                          "dir: append-only log per object; enables "
+                          "crash-recover faults and the space meter)")
     run.add_argument("--t", type=int, default=1, help="fault threshold")
     run.add_argument("--S", type=int, default=None, help="object count (default: protocol minimum)")
     run.add_argument("--readers", type=int, default=2, help="reader population")
     run.add_argument("--faults", default=None, help="fault behaviour name (e.g. crash, stale-echo)")
     run.add_argument("--count", type=int, default=1, help="how many objects misbehave")
+    run.add_argument("--fault-arg", dest="fault_arg", action="append", default=None,
+                     metavar="KEY=VALUE",
+                     help="fault-behaviour parameter (repeatable; e.g. "
+                          "--fault-arg survive_messages=1 --fault-arg lag=2)")
     run.add_argument("--strict", action="store_true",
                      help="error instead of clamping --count to t")
     run.add_argument("--trials", type=int, default=3)
@@ -490,6 +543,8 @@ def main(argv: list[str] | None = None) -> int:
                          help="writer family size for multi-writer backends")
     explore.add_argument("--engine", choices=("event", "batched"), default="event",
                          help="simulation engine schedules are evaluated on")
+    explore.add_argument("--durability", choices=("none", "mem", "dir"), default="none",
+                         help="object-state durability backing crash-recover faults")
     explore.add_argument("--t", type=int, default=1, help="fault threshold")
     explore.add_argument("--S", type=int, default=None,
                          help="object count (default: protocol minimum)")
@@ -499,6 +554,9 @@ def main(argv: list[str] | None = None) -> int:
     explore.add_argument("--faults", default=None,
                          help="fault behaviour name (e.g. crash, stale-echo)")
     explore.add_argument("--count", type=int, default=1, help="how many objects misbehave")
+    explore.add_argument("--fault-arg", dest="fault_arg", action="append", default=None,
+                         metavar="KEY=VALUE",
+                         help="fault-behaviour parameter (repeatable)")
     explore.add_argument("--strict", action="store_true",
                          help="error instead of clamping --count to t")
     explore.add_argument("--allow-overfault", action="store_true",
@@ -553,6 +611,7 @@ def main(argv: list[str] | None = None) -> int:
         "recurrence": _cmd_recurrence,
         "list-protocols": _cmd_list_protocols,
         "list-backends": _cmd_list_backends,
+        "list-faults": _cmd_list_faults,
         "list-scenarios": _cmd_list_scenarios,
         "run": _cmd_run,
         "compare": _cmd_compare,

@@ -68,6 +68,9 @@ class BackendRequest:
     #: Simulation engine every backend builds its system on
     #: (see :data:`repro.sim.batched.ENGINES`).
     engine: str = "event"
+    #: Durability seam every backend wraps its object handlers in
+    #: (see :data:`repro.storage.DURABILITIES`).
+    durability: str = "none"
 
 
 class SystemBackend(ABC):
@@ -313,6 +316,7 @@ def _build_single(
         policy=policy,
         allow_overfault=request.allow_overfault,
         engine=request.engine,
+        durability=request.durability,
     )
     return SingleRegisterBackend(system)
 
@@ -341,6 +345,7 @@ def _build_multi_writer(
             policy=policy,
             allow_overfault=request.allow_overfault,
             engine=request.engine,
+        durability=request.durability,
         )
     elif hasattr(protocol, "write_generator_for"):
         system = NativeMultiWriterSystem(
@@ -353,6 +358,7 @@ def _build_multi_writer(
             policy=policy,
             allow_overfault=request.allow_overfault,
             engine=request.engine,
+        durability=request.durability,
         )
     else:
         raise ConfigurationError(
@@ -383,6 +389,7 @@ def _build_sharded(
         policy=policy,
         allow_overfault=request.allow_overfault,
         engine=request.engine,
+        durability=request.durability,
     )
     return ShardedBackend(system)
 

@@ -75,6 +75,7 @@ from repro.spec.linearizability import is_linearizable
 from repro.spec.regularity import check_swmr_regularity
 from repro.spec.safety import check_swmr_safety
 from repro.sim.process import FaultBehavior
+from repro.storage import SpaceMeter, resolve_durability
 from repro.types import ProcessId, object_id, reader_ids, scoped_operation_serials
 from repro.workloads.generator import OperationPlan, WorkloadGenerator, normalize_keys
 from repro.workloads.scenarios import Scenario, get_scenario
@@ -212,6 +213,9 @@ class TrialResult:
     #: The trial's wire trace when the spec asked for it (``--trace``);
     #: like ``history`` it is a live object graph, excluded from to_dict.
     trace: Any | None = None
+    #: Space-meter report of the trial's durable journals (``None`` when
+    #: the trial ran with ``durability="none"``) — plain data, serialized.
+    storage: dict[str, Any] | None = None
 
     @property
     def worst_write(self) -> int:
@@ -235,7 +239,7 @@ class TrialResult:
         return self.incomplete == 0 and all(v.ok for v in self.checks.values())
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "trial": self.trial,
             "seed": self.seed,
             "write_rounds": list(self.write_rounds),
@@ -243,6 +247,9 @@ class TrialResult:
             "incomplete": self.incomplete,
             "checks": {name: verdict.to_dict() for name, verdict in self.checks.items()},
         }
+        if self.storage is not None:
+            payload["storage"] = self.storage
+        return payload
 
 
 @dataclass(slots=True)
@@ -262,6 +269,7 @@ class RunResult:
     key_count: int = 1
     n_writers: int = 1
     engine: str = "event"
+    durability: str = "none"
 
     @property
     def worst_write(self) -> int:
@@ -329,6 +337,13 @@ class RunResult:
             # the event engine's apart from this one key (absent = event, so
             # pre-engine JSONL files stay comparable).
             payload["engine"] = self.engine
+        if self.durability != "none":
+            # The durability axis *does* change what a run can observe
+            # (crash-recover faults, per-trial storage reports), so stored
+            # rows only compare like-for-like within one durability mode;
+            # absent means the paper's crash-stop objects, keeping old
+            # JSONL files comparable.
+            payload["durability"] = self.durability
         return payload
 
     def row(self) -> dict[str, str]:
@@ -366,6 +381,8 @@ class RunResult:
             shape = f", backend={self.backend} ({self.key_count} key(s), {self.n_writers} writer(s))"
         if self.engine != "event":
             shape += f", engine={self.engine}"
+        if self.durability != "none":
+            shape += f", durability={self.durability}"
         title = (
             f"{self.protocol} [{self.semantics}] — t={self.t}, S={self.S}, "
             f"{self.n_readers} readers{shape}, faults: {self.faults.describe()}"
@@ -481,6 +498,7 @@ class TrialSpec:
     schedule: tuple[PlannedSkip, ...] = ()
     keep_trace: bool = False
     engine: str = "event"
+    durability: str = "none"
 
     def backend_request(self) -> BackendRequest:
         """The build parameters the backend needs, as plain data."""
@@ -493,6 +511,7 @@ class TrialSpec:
             allow_overfault=self.allow_overfault,
             protocol_kwargs=self.protocol_kwargs,
             engine=self.engine,
+            durability=self.durability,
         )
 
     def plans(self) -> list[OperationPlan]:
@@ -582,6 +601,13 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
         report = measure_backend_latency(backend, spec.plans(), scenario=spec.scenario_label)
         histories = backend.histories()
         verdicts = {name: run_check(name, histories) for name in spec.checks}
+        storage = None
+        if spec.durability != "none":
+            # Meter the durable journals once the trial is quiescent; the
+            # report is plain data, a pure function of the delivered message
+            # sequence, so it is byte-identical across engines and across
+            # serial/parallel execution like everything else in the result.
+            storage = SpaceMeter(backend.system.storage).measure()
         return TrialResult(
             trial=spec.trial,
             seed=spec.recorded_seed,
@@ -591,6 +617,7 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             checks=verdicts,
             history=backend.history() if spec.keep_history else None,
             trace=backend.trace if spec.keep_trace else None,
+            storage=storage,
         )
 
 
@@ -695,6 +722,11 @@ class Cluster:
             per-message event loop, default) or ``"batched"`` (the
             wave-stepped engine, observably identical and faster; see
             :mod:`repro.sim.batched`).
+        durability: durability seam every trial's objects persist through —
+            ``"none"`` (crash-stop objects, the default), ``"mem"``
+            (deterministic in-memory journals) or ``"dir"`` (append-only
+            log files; see :mod:`repro.storage`).  Required for the
+            crash-recover fault family.
         protocol_kwargs: forwarded to the protocol factory per trial.
     """
 
@@ -709,6 +741,7 @@ class Cluster:
         keys: int | Sequence[str] | None = None,
         n_writers: int | None = None,
         engine: str = "event",
+        durability: str = "none",
         **protocol_kwargs: Any,
     ) -> None:
         self._spec = protocol if isinstance(protocol, ProtocolSpec) else get_spec(protocol)
@@ -734,6 +767,7 @@ class Cluster:
         self._key_skew = 0.0
         self._schedule: tuple[PlannedSkip, ...] = ()
         self._engine = self._validate_engine(engine)
+        self._durability = resolve_durability(durability)
         self._configure_backend(backend, keys, n_writers)
 
     @staticmethod
@@ -851,6 +885,20 @@ class Cluster:
         """
         clone = self._clone()
         clone._engine = self._validate_engine(engine)
+        return clone
+
+    def with_durability(self, durability: str) -> "Cluster":
+        """Select the durability seam every trial's objects persist through.
+
+        ``"mem"`` journals state into deterministic in-memory logs,
+        ``"dir"`` into append-only files under a per-trial temp dir; both
+        wrap every handler in a
+        :class:`~repro.storage.DurableObjectHandler`, enable the
+        crash-recover fault family, and attach a per-trial
+        :class:`~repro.storage.SpaceMeter` report to the results.
+        """
+        clone = self._clone()
+        clone._durability = resolve_durability(durability)
         return clone
 
     def with_schedule(self, *steps: PlannedSkip | tuple) -> "Cluster":
@@ -1044,6 +1092,7 @@ class Cluster:
             allow_overfault=self._allow_overfault,
             protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
             engine=self._engine,
+            durability=self._durability,
         )
 
     def build_backend(self) -> SystemBackend:
@@ -1104,6 +1153,7 @@ class Cluster:
                 schedule=self._schedule,
                 keep_trace=keep_trace,
                 engine=self._engine,
+                durability=self._durability,
             )
             for index in range(trials)
         ]
@@ -1134,6 +1184,7 @@ class Cluster:
             key_count=len(probe.keys),
             n_writers=self._writer_count(),
             engine=self._engine,
+            durability=self._durability,
         )
         return result, self._trial_specs(trials, seed, keep_history, keep_trace)
 
@@ -1226,6 +1277,7 @@ class Cluster:
             granularity=granularity,
             max_events=max_events,
             engine=self._engine,
+            durability=self._durability,
         )
         return explore_probe(
             probe,
@@ -1260,6 +1312,7 @@ def sweep(
     n_writers: int | None = None,
     key_skew: float = 0.0,
     engine: str = "event",
+    durability: str = "none",
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> SweepResult:
@@ -1287,7 +1340,7 @@ def sweep(
             cluster = (
                 Cluster(name, t=t, n_readers=n_readers,
                         backend=backend, keys=keys, n_writers=n_writers,
-                        engine=engine)
+                        engine=engine, durability=durability)
                 .with_scenario(scenario_name)
                 .with_workload(spacing=spacing, operations=operations, key_skew=key_skew)
                 .check(*checks)

@@ -75,6 +75,7 @@ def _ensure_registered() -> None:
     _BOOTSTRAPPED = True
     from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
     from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+    from repro.faults.recovery import CrashRecoverAt, FsyncLag, TornWrite
 
     register_fault(
         "crash",
@@ -107,6 +108,30 @@ def _ensure_registered() -> None:
         lambda p_reply=0.5, seed=0: flaky_behavior(p_reply=p_reply, seed=seed),
         model="benign",
         description="reply honestly with probability p, else stay silent",
+    )
+    register_fault(
+        "crash-recover",
+        lambda survive_messages=3, rejoin_after=2: CrashRecoverAt(
+            survive_messages=survive_messages, rejoin_after=rejoin_after
+        ),
+        model="benign",
+        description="go dark mid-run, later rejoin from the durable journal",
+    )
+    register_fault(
+        "fsync-lag",
+        lambda survive_messages=3, rejoin_after=2, lag=1: FsyncLag(
+            survive_messages=survive_messages, rejoin_after=rejoin_after, lag=lag
+        ),
+        model="benign",
+        description="crash loses the acknowledged-but-unsynced journal suffix",
+    )
+    register_fault(
+        "torn-write",
+        lambda survive_messages=3, rejoin_after=2: TornWrite(
+            survive_messages=survive_messages, rejoin_after=rejoin_after
+        ),
+        model="benign",
+        description="crash tears the last journal record; recovery discards it",
     )
 
 

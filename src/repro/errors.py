@@ -64,6 +64,15 @@ class SpecificationError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """A stable-storage invariant was violated.
+
+    Examples: appending to a store whose machine is crashed (frozen), or
+    attaching a crash-recover fault to an object built without a durability
+    seam (``durability="none"``).
+    """
+
+
 class ConstructionError(ReproError):
     """A lower-bound construction could not be carried out as scripted.
 

@@ -102,6 +102,12 @@ class ScheduleProbe:
     #: byte-identical outcomes (same failures, same events count, same wire
     #: trace fingerprint), so certificates and witnesses transfer.
     engine: str = "event"
+    #: Durability seam the probed systems persist through.  With a
+    #: crash-recover fault configured, every held link shifts which
+    #: operation's messages land in the dark window — recovery *timing*
+    #: is an ordinary explorer choice point, so stale-rejoin violations
+    #: minimize to witnesses and clean sweeps certify the configuration.
+    durability: str = "none"
 
     def backend_request(self) -> BackendRequest:
         return BackendRequest(
@@ -113,6 +119,7 @@ class ScheduleProbe:
             allow_overfault=self.allow_overfault,
             protocol_kwargs=self.protocol_kwargs,
             engine=self.engine,
+            durability=self.durability,
         )
 
     def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":
@@ -299,6 +306,7 @@ class ExploreResult:
     max_schedules: int
     max_events: int
     engine: str = "event"
+    durability: str = "none"
     alphabet: int = 0
     exhausted: bool = False
     stats: ExploreStats = field(default_factory=ExploreStats)
@@ -321,6 +329,7 @@ class ExploreResult:
             "protocol": self.protocol,
             "backend": self.backend,
             "engine": self.engine,
+            "durability": self.durability,
             "t": self.t,
             "S": self.S,
             "n_readers": self.n_readers,
@@ -343,6 +352,8 @@ class ExploreResult:
     def render(self) -> str:
         """Human-readable summary, ready to print."""
         engine_tag = "" if self.engine == "event" else f", engine={self.engine}"
+        if self.durability != "none":
+            engine_tag += f", durability={self.durability}"
         lines = [
             f"explore {self.protocol} [{', '.join(self.checks)}] — "
             f"t={self.t}, S={self.S}, {self.n_readers} readers{engine_tag}, "
@@ -578,6 +589,7 @@ class Explorer:
             protocol=self.probe.protocol,
             backend=backend.name,
             engine=self.probe.engine,
+            durability=self.probe.durability,
             t=self.probe.t,
             S=size,
             n_readers=self.probe.n_readers,

@@ -176,6 +176,7 @@ class ScheduleWitness:
             "granularity": probe.granularity,
             "max_events": probe.max_events,
             "engine": probe.engine,
+            "durability": probe.durability,
             "decisions": [link.to_json() for link in self.decisions],
             "discovered": [link.to_json() for link in self.discovered],
             "failures": [list(pair) for pair in self.failures],
@@ -237,6 +238,9 @@ class ScheduleWitness:
             decisions=decisions,
             max_events=data.get("max_events", 200_000),
             engine=data.get("engine", "event"),
+            # Absent means the crash-stop objects every pre-durability
+            # witness was recorded against, so the corpus stays replayable.
+            durability=data.get("durability", "none"),
         )
         return cls(
             probe=probe,

@@ -4,6 +4,8 @@ The paper's model allows clients to crash and up to ``t`` objects to be
 *malicious* (Byzantine, unauthenticated data).  This package provides:
 
 * benign endpoint faults — silence, crash-at-time (:mod:`repro.faults.adversary`);
+* crash-recover faults — machines that go dark and rejoin from durable
+  storage, with fsync-lag and torn-write damage (:mod:`repro.faults.recovery`);
 * Byzantine behaviours — state replay ("forge state to σ", exactly the
   adversary of the proofs) and fabrication of arbitrary well-typed states
   (:mod:`repro.faults.byzantine`);
@@ -12,6 +14,7 @@ The paper's model allows clients to crash and up to ``t`` objects to be
 """
 
 from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
+from repro.faults.recovery import CrashRecoverAt, FsyncLag, TornWrite
 from repro.faults.byzantine import (
     FabricatingBehavior,
     ReplayBehavior,
@@ -29,6 +32,9 @@ from repro.faults.schedules import (
 __all__ = [
     "SilentBehavior",
     "CrashAt",
+    "CrashRecoverAt",
+    "FsyncLag",
+    "TornWrite",
     "flaky_behavior",
     "StateArchive",
     "ReplayBehavior",

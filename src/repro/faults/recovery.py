@@ -1,0 +1,160 @@
+"""Crash-recover fault behaviours: go dark, then rejoin from durable state.
+
+The paper's objects are crash-stop; these behaviours model the crash-
+*recover* machines of real stores.  Each one runs the same three-phase
+machine, message-counted so it is deterministic, picklable, and identical
+on both simulation engines (faulty objects always take the full
+per-message dispatch path):
+
+``up``
+    Behave honestly for ``survive_messages`` deliveries.  The delivery
+    after that *crashes* the machine: the stable store is frozen (a dead
+    machine persists nothing) and crash damage is applied — the
+    acknowledged-but-unsynced journal suffix is lost, plus whatever the
+    subclass adds (a torn final record, a widened sync lag).
+
+``down``
+    Swallow ``rejoin_after`` further deliveries outright (via
+    :meth:`~repro.sim.process.FaultBehavior.before_handle`, so the dark
+    machine performs **no** state transitions).  With ``rejoin_after=0``
+    the machine restarts instantly: the crash and the rejoin happen on
+    the same delivery.
+
+``recovered``
+    Replay the durable journal into a fresh protocol state
+    (:meth:`~repro.storage.durable.DurableObjectHandler.recovered_state`),
+    unfreeze the store, and serve the triggering delivery — and everything
+    after it — honestly from the recovered (possibly stale) state.
+
+*When* the rejoin lands relative to in-flight rounds is exactly what the
+schedule explorer searches: every held link shifts which operation's
+messages fall into the dark window, so recovery timing is an ordinary
+explorer choice point and stale-rejoin violations come out as minimized
+:class:`~repro.explore.witness.ScheduleWitness`es.
+
+All three behaviours require the durability seam; attaching one to an
+object built with ``durability="none"`` raises
+:class:`~repro.errors.StorageError` on first delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import StorageError
+from repro.sim.network import Message
+from repro.sim.process import FaultBehavior, ObjectServer
+from repro.storage.stable import StableStorage
+
+
+class CrashRecoverAt(FaultBehavior):
+    """Crash after ``survive_messages`` deliveries; rejoin from the journal.
+
+    With a store that syncs before acknowledging (the default), the
+    machine rejoins with exactly the state it last acknowledged — the
+    well-provisioned recovery configuration the explorer can certify.
+    """
+
+    def __init__(self, survive_messages: int = 3, rejoin_after: int = 2) -> None:
+        if survive_messages < 0:
+            raise ValueError("survive_messages must be non-negative")
+        if rejoin_after < 0:
+            raise ValueError("rejoin_after must be non-negative")
+        self.survive_messages = survive_messages
+        self.rejoin_after = rejoin_after
+        self.phase = "up"
+        self.dark_seen = 0
+        self._prepared = False
+
+    # -- subclass hooks ------------------------------------------------
+
+    def _prepare(self, store: StableStorage) -> None:
+        """Configure the store before the first delivery is handled."""
+
+    def _damage(self, store: StableStorage) -> None:
+        """Apply crash damage beyond losing the unsynced suffix."""
+
+    # -- the phase machine ---------------------------------------------
+
+    def _store(self, server: ObjectServer) -> StableStorage:
+        store = getattr(server.handler, "store", None)
+        if store is None:
+            raise StorageError(
+                f"{self.describe()} needs durable object state — build the "
+                "system with durability='mem' or durability='dir'"
+            )
+        return store
+
+    def before_handle(self, server: ObjectServer, message: Message) -> bool:
+        if not self._prepared:
+            self._prepared = True
+            self._prepare(self._store(server))
+        if self.phase == "up":
+            # messages_seen was already incremented for this delivery.
+            if server.messages_seen <= self.survive_messages:
+                return True
+            store = self._store(server)
+            store.frozen = True
+            store.crash()
+            self._damage(store)
+            self.phase = "down"
+            self.dark_seen = 0
+        if self.phase == "down":
+            self.dark_seen += 1
+            if self.dark_seen <= self.rejoin_after:
+                return False
+            state, _image = server.handler.recovered_state()
+            server.restore(state)
+            self._store(server).frozen = False
+            self.phase = "recovered"
+        return True
+
+    def reply(
+        self,
+        server: ObjectServer,
+        message: Message,
+        honest_payload: Mapping[str, Any],
+    ) -> Mapping[str, Any] | None:
+        # before_handle gated the dark window; whenever the handler ran,
+        # the machine is live and presents its genuine reply.
+        return honest_payload
+
+    def describe(self) -> str:
+        return f"crash-recover(survive={self.survive_messages}, rejoin={self.rejoin_after})"
+
+
+class FsyncLag(CrashRecoverAt):
+    """Crash-recover with a lazy fsync: the last ``lag`` journal records are
+    acknowledged but not yet durable, so the crash loses exactly that
+    suffix and the machine rejoins with *stale* state it already
+    acknowledged — the under-provisioned configuration the explorer
+    refutes with a stale-rejoin witness."""
+
+    def __init__(
+        self, survive_messages: int = 3, rejoin_after: int = 2, lag: int = 1
+    ) -> None:
+        super().__init__(survive_messages=survive_messages, rejoin_after=rejoin_after)
+        if lag < 1:
+            raise ValueError("lag must be at least 1 (0 is plain crash-recover)")
+        self.lag = lag
+
+    def _prepare(self, store: StableStorage) -> None:
+        store.lag = self.lag
+
+    def describe(self) -> str:
+        return (
+            f"fsync-lag(lag={self.lag}, survive={self.survive_messages}, "
+            f"rejoin={self.rejoin_after})"
+        )
+
+
+class TornWrite(CrashRecoverAt):
+    """Crash-recover where the crash tears the final journal record
+    mid-entry; recovery's checksum validation must detect the damage and
+    discard the record, so the machine rejoins one update behind."""
+
+    def _damage(self, store: StableStorage) -> None:
+        store.tear_last()
+
+    def describe(self) -> str:
+        return f"torn-write(survive={self.survive_messages}, rejoin={self.rejoin_after})"

@@ -25,7 +25,21 @@ from repro.sim.process import FaultBehavior, ObjectHandler, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
 from repro.sim.tracing import MessageTrace
 from repro.spec.history import History, HistoryRecorder
+from repro.storage import StorageRuntime
 from repro.types import BOTTOM, ProcessId, object_ids, reader_id, reader_ids, writer_id
+
+
+def _durable(
+    storage: StorageRuntime | None, pid: ProcessId, handler: ObjectHandler
+) -> ObjectHandler:
+    """Wrap ``handler`` with the system's durability seam, if any.
+
+    Shared by every register system (single-writer, multi-writer native,
+    transformed, sharded) so the durability axis needs no per-system code.
+    """
+    if storage is None:
+        return handler
+    return storage.wrap(pid, handler)
 
 
 def resolve_reader(readers: Sequence[ProcessId], reader_index: int) -> ProcessId:
@@ -116,6 +130,12 @@ class RegisterSystem:
            default) or ``"batched"`` (wave-stepped
            :class:`~repro.sim.batched.BatchedSimulator`, observably
            identical and faster).
+        durability: the durability axis — ``"none"`` (in-memory objects,
+           the paper's crash-stop model), ``"mem"`` (deterministic
+           in-memory journals) or ``"dir"`` (append-only log files under a
+           temp dir).  When enabled, every object handler is wrapped in a
+           :class:`~repro.storage.DurableObjectHandler` and crash-recover
+           fault behaviours become available.
     """
 
     def __init__(
@@ -128,6 +148,7 @@ class RegisterSystem:
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
         engine: str = "event",
+        durability: str = "none",
     ) -> None:
         if S is None:
             S = self._default_size(protocol, t)
@@ -142,8 +163,14 @@ class RegisterSystem:
         unknown = set(behaviors) - set(self.ctx.objects)
         if unknown:
             raise ConfigurationError(f"behaviours for unknown objects: {sorted(unknown)}")
+        self.storage = StorageRuntime.create(durability)
+        self.durability = durability
         self.servers = [
-            ObjectServer(pid=pid, handler=protocol.object_handler(), behavior=behaviors.get(pid))
+            ObjectServer(
+                pid=pid,
+                handler=_durable(self.storage, pid, protocol.object_handler()),
+                behavior=behaviors.get(pid),
+            )
             for pid in self.ctx.objects
         ]
         self.recorder = HistoryRecorder()

@@ -26,7 +26,13 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
-from repro.registers.base import ProtocolContext, RegisterProtocol, RegisterSystem, resolve_reader
+from repro.registers.base import (
+    ProtocolContext,
+    RegisterProtocol,
+    RegisterSystem,
+    _durable,
+    resolve_reader,
+)
 from repro.registers.multiplex import MultiplexObjectHandler, multiplex
 from repro.sim.batched import resolve_engine
 from repro.sim.network import DeliveryPolicy
@@ -34,6 +40,7 @@ from repro.sim.process import FaultBehavior, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
 from repro.sim.tracing import MessageTrace
 from repro.spec.history import History, HistoryRecorder
+from repro.storage import StorageRuntime
 from repro.types import BOTTOM, OperationId, ProcessId, object_ids, reader_ids
 
 
@@ -63,6 +70,7 @@ class ShardedRegisterSystem:
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
         engine: str = "event",
+        durability: str = "none",
     ) -> None:
         keys = tuple(keys)
         if not keys:
@@ -99,10 +107,12 @@ class ShardedRegisterSystem:
         inner = handler_source.object_handler()
         if isinstance(inner, MultiplexObjectHandler):
             inner = inner.inner
+        self.storage = StorageRuntime.create(durability)
+        self.durability = durability
         self.servers = [
             ObjectServer(
                 pid=pid,
-                handler=MultiplexObjectHandler(inner),
+                handler=_durable(self.storage, pid, MultiplexObjectHandler(inner)),
                 behavior=behaviors.get(pid),
             )
             for pid in self.ctx.objects

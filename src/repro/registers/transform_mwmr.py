@@ -30,6 +30,7 @@ from repro.registers.base import (
     ProtocolContext,
     RegisterProtocol,
     RegisterSystem,
+    _durable,
     resolve_reader,
 )
 from repro.registers.multiplex import MultiplexObjectHandler, multiplex
@@ -41,6 +42,7 @@ from repro.sim.process import FaultBehavior, ObjectServer
 from repro.sim.simulator import ClientOperation, ProtocolGenerator, Simulator
 from repro.sim.tracing import MessageTrace
 from repro.spec.history import History, HistoryRecorder
+from repro.storage import StorageRuntime
 from repro.types import (
     BOTTOM,
     ProcessId,
@@ -79,6 +81,7 @@ class MultiWriterRegisterSystem:
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
         engine: str = "event",
+        durability: str = "none",
     ) -> None:
         if n_writers < 1:
             raise ConfigurationError("need at least one writer")
@@ -100,10 +103,16 @@ class MultiWriterRegisterSystem:
         if len(behaviors) > t and not allow_overfault:
             raise ConfigurationError(f"{len(behaviors)} faulty objects exceed t={t}")
         handler_source = substrate_factory()
+        self.storage = StorageRuntime.create(durability)
+        self.durability = durability
         self.servers = [
             ObjectServer(
                 pid=pid,
-                handler=MultiplexObjectHandler(handler_source.object_handler()),
+                handler=_durable(
+                    self.storage,
+                    pid,
+                    MultiplexObjectHandler(handler_source.object_handler()),
+                ),
                 behavior=behaviors.get(pid),
             )
             for pid in self.ctx.objects
@@ -216,6 +225,7 @@ class NativeMultiWriterSystem:
         policy: DeliveryPolicy | None = None,
         allow_overfault: bool = False,
         engine: str = "event",
+        durability: str = "none",
     ) -> None:
         if n_writers < 1:
             raise ConfigurationError("need at least one writer")
@@ -237,8 +247,14 @@ class NativeMultiWriterSystem:
             raise ConfigurationError(f"behaviours for unknown objects: {sorted(unknown)}")
         self.n_writers = n_writers
         self.n_readers = n_readers
+        self.storage = StorageRuntime.create(durability)
+        self.durability = durability
         self.servers = [
-            ObjectServer(pid=pid, handler=protocol.object_handler(), behavior=behaviors.get(pid))
+            ObjectServer(
+                pid=pid,
+                handler=_durable(self.storage, pid, protocol.object_handler()),
+                behavior=behaviors.get(pid),
+            )
             for pid in self.ctx.objects
         ]
         self.recorder = HistoryRecorder()

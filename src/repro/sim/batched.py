@@ -286,10 +286,13 @@ class BatchedSimulator(Simulator):
                             # correct path; faulty objects keep the full
                             # dispatch.
                             server.messages_seen += 1
-                            if server.behavior is None:
+                            behavior = server.behavior
+                            if behavior is None:
                                 payload = server.handler.handle(server.state, message)
+                            elif not behavior.before_handle(server, message):
+                                payload = None
                             else:
-                                payload = server.behavior.reply(
+                                payload = behavior.reply(
                                     server, message,
                                     server.handler.handle(server.state, message),
                                 )

@@ -75,6 +75,20 @@ class FaultBehavior:
     behaviour that wants to present forged state must build its own payload.
     """
 
+    def before_handle(self, server: "ObjectServer", message: Message) -> bool:
+        """Gate the honest state transition for this delivery.
+
+        Called after ``messages_seen`` is incremented but *before* the
+        handler runs.  Returning ``False`` swallows the message entirely:
+        no state transition, no persistence, no reply — the behaviour of a
+        machine that is down.  The default (``True``) preserves the
+        classic contract where the honest update always happens first and
+        :meth:`reply` merely decides what to present.  Crash-recover
+        behaviours override this to go dark and to rejoin from durable
+        state before the triggering message is processed.
+        """
+        return True
+
     def reply(
         self,
         server: "ObjectServer",
@@ -140,17 +154,25 @@ class ObjectServer:
         """Process one invocation; return the reply payload or None (silent).
 
         Correct objects always reply.  Faulty objects consult their
-        behaviour, which may forge or suppress the reply.  Either way the
-        *honest* state transition is applied first, so a later repair (e.g. a
-        Byzantine object acting correctly again) resumes from plausible
-        state — this matches the proofs, where malicious objects hold genuine
-        states and merely *present* old ones.
+        behaviour twice: :meth:`FaultBehavior.before_handle` may swallow
+        the delivery outright (a machine that is down performs no state
+        transition at all), and otherwise the *honest* state transition is
+        applied first and :meth:`FaultBehavior.reply` may forge or
+        suppress what is presented.  The update-first order matches the
+        proofs, where malicious objects hold genuine states and merely
+        *present* old ones.
+
+        The batched engine inlines this dispatch in
+        ``BatchedSimulator._drain`` — keep the two in lockstep.
         """
         self.messages_seen += 1
+        behavior = self.behavior
+        if behavior is None:
+            return self.handler.handle(self.state, message)
+        if not behavior.before_handle(self, message):
+            return None
         honest = self.handler.handle(self.state, message)
-        if self.behavior is None:
-            return honest
-        return self.behavior.reply(self, message, honest)
+        return behavior.reply(self, message, honest)
 
     def receive_batch(
         self, messages: Sequence[Message]

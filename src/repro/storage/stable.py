@@ -1,0 +1,326 @@
+"""Stable storage: append-only journals with an explicit sync watermark.
+
+The durability seam models what real stores guarantee, no more: a record
+handed to :meth:`StableStorage.put` is *acknowledged*; only after
+:meth:`StableStorage.sync` is it *durable*.  Crash-recover faults exploit
+the gap — :meth:`StableStorage.crash` drops the acknowledged-but-unsynced
+suffix, :meth:`StableStorage.tear_last` damages the final record mid-entry,
+and :meth:`StableStorage.recover` replays the surviving log, detecting and
+discarding a torn tail via per-record checksums.
+
+Two implementations share the journal logic:
+
+* :class:`MemJournal` — a deterministic in-memory journal; the default for
+  tests and the schedule explorer (no filesystem in the state space).
+* :class:`DirStorage` — one append-only log file per object under a temp
+  dir; the on-disk frame is ``>II`` (payload length, CRC-32) followed by
+  ``key \\0 value`` bytes, and recovery genuinely re-parses the file.
+
+Both account retained space with the same frame arithmetic, so the space
+meter reports comparable byte counts whichever backend a run uses.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StorageError
+
+_HEADER = struct.Struct(">II")
+_HEADER_SIZE = _HEADER.size
+
+
+def _frame(key: str, value: bytes) -> bytes:
+    blob = key.encode("utf-8") + b"\0" + value
+    return _HEADER.pack(len(blob), zlib.crc32(blob)) + blob
+
+
+def _frame_size(key: str, value: bytes) -> int:
+    return _HEADER_SIZE + len(key.encode("utf-8")) + 1 + len(value)
+
+
+def _parse_log(data: bytes) -> tuple[list[tuple[str, bytes]], int, bool]:
+    """Replay a raw log: (valid records, valid byte length, torn tail seen).
+
+    Parsing stops at the first damaged record — a short header, a payload
+    cut before its declared length, or a checksum mismatch — which is
+    exactly what a torn write leaves behind.
+    """
+    records: list[tuple[str, bytes]] = []
+    pos = 0
+    size = len(data)
+    while pos < size:
+        if pos + _HEADER_SIZE > size:
+            return records, pos, True
+        length, crc = _HEADER.unpack_from(data, pos)
+        end = pos + _HEADER_SIZE + length
+        if end > size:
+            return records, pos, True
+        blob = data[pos + _HEADER_SIZE : end]
+        if zlib.crc32(blob) != crc:
+            return records, pos, True
+        key, _, value = blob.partition(b"\0")
+        records.append((key.decode("utf-8"), value))
+        pos = end
+    return records, pos, False
+
+
+@dataclass(frozen=True, slots=True)
+class StorageStats:
+    """Space retained by one object's journal, in frame bytes."""
+
+    retained_bytes: int
+    records: int
+    synced_records: int
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveredImage:
+    """What :meth:`StableStorage.recover` salvaged from the journal.
+
+    ``state`` maps each key to its last durable value; ``discarded`` counts
+    records lost to the unsynced suffix and/or a torn tail.
+    """
+
+    state: dict[str, bytes]
+    replayed: int
+    discarded: int
+    torn_detected: bool
+
+
+class StableStorage:
+    """Append-only journal with write-ahead (`put` then `sync`) semantics.
+
+    Subclasses supply the physical medium; this base owns the record list,
+    the sync watermark, the ``lag`` knob (``sync`` leaves the last ``lag``
+    records unsynced — the fsync-lag fault model), and the ``frozen`` flag
+    a crashed machine sets so nothing persists while it is dark.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[tuple[str, bytes]] = []
+        self.synced: int = 0
+        self.lag: int = 0
+        self.frozen: bool = False
+        self._torn_index: int | None = None
+
+    # -- write path ----------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        """Append one record (acknowledged, not yet durable)."""
+        if self.frozen:
+            raise StorageError("cannot append to a frozen (crashed) store")
+        self._records.append((key, value))
+        self._append_medium(key, value)
+
+    def sync(self) -> None:
+        """Advance the durability watermark, honouring the ``lag`` knob."""
+        self.synced = max(self.synced, len(self._records) - self.lag)
+        self._sync_medium()
+
+    # -- read path -----------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        """Latest acknowledged value for ``key`` (the live machine's view)."""
+        for stored, value in reversed(self._records):
+            if stored == key:
+                return value
+        return None
+
+    def keys(self) -> tuple[str, ...]:
+        """Keys with at least one record, in first-append order."""
+        seen: dict[str, None] = {}
+        for key, _ in self._records:
+            seen.setdefault(key)
+        return tuple(seen)
+
+    # -- crash / recovery ----------------------------------------------
+
+    def crash(self) -> int:
+        """Lose the acknowledged-but-unsynced suffix; return records lost."""
+        lost = len(self._records) - self.synced
+        if lost > 0:
+            del self._records[self.synced :]
+            if self._torn_index is not None and self._torn_index >= len(self._records):
+                self._torn_index = None
+        self._truncate_medium(self.synced)
+        return lost
+
+    def tear_last(self) -> bool:
+        """Damage the last physical record mid-entry (torn write)."""
+        if not self._records:
+            return False
+        self._torn_index = len(self._records) - 1
+        self._tear_medium()
+        return True
+
+    def recover(self) -> RecoveredImage:
+        """Replay the durable log and repair it in place.
+
+        Only the synced prefix survives a crash; within it, a torn final
+        record is detected (checksum/length validation on the physical
+        medium) and discarded.  After recovery the journal holds exactly
+        the replayed records, all durable.
+        """
+        total = len(self._records)
+        limit = min(self.synced, total)
+        torn = self._torn_index is not None and self._torn_index < limit
+        if torn:
+            limit = self._torn_index
+        replayed = self._recover_medium(limit)
+        state: dict[str, bytes] = {}
+        for key, value in replayed:
+            state[key] = value
+        self._records = replayed
+        self.synced = len(replayed)
+        self._torn_index = None
+        return RecoveredImage(
+            state=state,
+            replayed=len(replayed),
+            discarded=total - len(replayed),
+            torn_detected=torn,
+        )
+
+    # -- metering / GC -------------------------------------------------
+
+    def stats(self) -> StorageStats:
+        """Frame bytes and record counts currently retained."""
+        return StorageStats(
+            retained_bytes=sum(_frame_size(k, v) for k, v in self._records),
+            records=len(self._records),
+            synced_records=self.synced,
+        )
+
+    def records(self) -> tuple[tuple[str, bytes], ...]:
+        """The retained journal, oldest first (for the space meter)."""
+        return tuple(self._records)
+
+    def gc(self) -> int:
+        """Compact to the latest record per key; return frame bytes freed.
+
+        Keys keep their first-append order so compaction is deterministic.
+        The compacted journal is durable by construction (it only contains
+        values that were already retained).
+        """
+        before = sum(_frame_size(k, v) for k, v in self._records)
+        latest: dict[str, bytes] = {}
+        for key, value in self._records:
+            latest[key] = value
+        compacted = list(latest.items())
+        self._records = compacted
+        self.synced = len(compacted)
+        self._torn_index = None
+        self._rewrite_medium(compacted)
+        return before - sum(_frame_size(k, v) for k, v in compacted)
+
+    # -- medium hooks (in-memory store: no-ops) ------------------------
+
+    def _append_medium(self, key: str, value: bytes) -> None:
+        pass
+
+    def _sync_medium(self) -> None:
+        pass
+
+    def _truncate_medium(self, keep_records: int) -> None:
+        pass
+
+    def _tear_medium(self) -> None:
+        pass
+
+    def _rewrite_medium(self, records: list[tuple[str, bytes]]) -> None:
+        pass
+
+    def _recover_medium(self, limit: int) -> list[tuple[str, bytes]]:
+        """Return the records that survive recovery (first ``limit`` ones)."""
+        return self._records[:limit]
+
+    def close(self) -> None:
+        pass
+
+
+class MemJournal(StableStorage):
+    """Deterministic in-memory journal — the ``durability="mem"`` seam."""
+
+
+class DirStorage(StableStorage):
+    """One append-only log file per object — the ``durability="dir"`` seam.
+
+    The constructor replays any existing log at ``path`` (reopen-after-
+    restart), silently dropping a torn tail; everything replayed from disk
+    is durable by definition.  ``crash``/``tear_last`` damage the physical
+    file, and :meth:`StableStorage.recover` re-parses it, so recovery
+    exercises the real frame validation rather than the in-memory mirror.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self._offsets: list[int] = []  # cumulative end offset per record
+        if self.path.exists():
+            records, valid_end, _torn = _parse_log(self.path.read_bytes())
+            if valid_end != self.path.stat().st_size:
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(valid_end)
+            self._records = records
+            self.synced = len(records)
+            pos = 0
+            for key, value in records:
+                pos += _frame_size(key, value)
+                self._offsets.append(pos)
+        self._fh = open(self.path, "ab")
+
+    def _append_medium(self, key: str, value: bytes) -> None:
+        self._fh.write(_frame(key, value))
+        end = (self._offsets[-1] if self._offsets else 0) + _frame_size(key, value)
+        self._offsets.append(end)
+
+    def _sync_medium(self) -> None:
+        self._fh.flush()
+
+    def _truncate_medium(self, keep_records: int) -> None:
+        self._fh.flush()
+        keep_bytes = self._offsets[keep_records - 1] if keep_records else 0
+        os.truncate(self.path, keep_bytes)
+        del self._offsets[keep_records:]
+
+    def _tear_medium(self) -> None:
+        self._fh.flush()
+        start = self._offsets[-2] if len(self._offsets) > 1 else 0
+        end = self._offsets[-1]
+        # Cut inside the record: keep at most half its frame, so either the
+        # header or the payload is incomplete and replay must reject it.
+        os.truncate(self.path, start + (end - start) // 2)
+
+    def _rewrite_medium(self, records: list[tuple[str, bytes]]) -> None:
+        self._fh.close()
+        with open(self.path, "wb") as fh:
+            for key, value in records:
+                fh.write(_frame(key, value))
+        self._offsets = []
+        pos = 0
+        for key, value in records:
+            pos += _frame_size(key, value)
+            self._offsets.append(pos)
+        self._fh = open(self.path, "ab")
+
+    def _recover_medium(self, limit: int) -> list[tuple[str, bytes]]:
+        self._fh.flush()
+        data = self.path.read_bytes()
+        records, _valid_end, _torn = _parse_log(data)
+        survivors = records[:limit]
+        self._rewrite_medium(survivors)
+        return survivors
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -68,3 +68,20 @@ def test_stale_read_witness_shape():
     assert witness.probe.protocol == "atomic-fast-regular"
     assert len(witness.decisions) == 1
     assert witness.failures and witness.failures[0][0] == "atomicity"
+
+
+def test_stale_rejoin_witness_shape():
+    """The stale-rejoin witness: a recovered-but-stale object breaks ABD.
+
+    An fsync-lag object acknowledges the write's round-2 store, crashes
+    before syncing it, and rejoins with the pre-write journal image; one
+    held link then steers a later read onto a quorum containing the
+    rejoined object, which answers with ⊥ — an atomicity violation that
+    only exists because recovery is a schedule choice point.
+    """
+    witness = ScheduleWitness.load(WITNESS_DIR / "stale_rejoin.json")
+    assert witness.probe.protocol == "abd"
+    assert witness.probe.durability == "mem"
+    assert witness.probe.fault_groups and witness.probe.fault_groups[0].fault == "fsync-lag"
+    assert len(witness.decisions) == 1
+    assert witness.failures and witness.failures[0][0] == "atomicity"
