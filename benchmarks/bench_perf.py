@@ -31,7 +31,13 @@ trajectory to beat.  Four meters:
   both engines with *asserted* result parity, the run-time overhead of
   the ``mem`` and ``dir`` durability levels against a ``none`` baseline,
   and the retained-space meter on a superseded-value workload (the run
-  *asserts* GC shrinks retention).
+  *asserts* GC shrinks retention);
+* **reconfig** — availability under churn: a rolling-replacement run
+  (every original object permanently lost and repaired online through the
+  membership-epoch backend) on both engines with *asserted* result parity
+  and the *asserted* two-rounds-per-repair profile, plus the availability
+  meter — operations completed and worst/p99 client latency (simulated
+  ticks) during repair windows vs steady state.
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -69,7 +75,7 @@ from repro.types import ProcessId, fresh_operation_id, reader_id, scoped_operati
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -604,6 +610,145 @@ def bench_storage(quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Reconfig backend: availability through online repair
+# --------------------------------------------------------------------- #
+
+
+def _latency_stats(values: list[int]) -> dict:
+    """Worst / p99 / mean over per-operation latencies in simulated ticks."""
+    if not values:
+        return {"operations": 0}
+    ordered = sorted(values)
+    p99_index = max(0, -(-99 * len(ordered) // 100) - 1)  # ceil, no math import
+    return {
+        "operations": len(ordered),
+        "worst": ordered[-1],
+        "p99": ordered[p99_index],
+        "mean": round(sum(ordered) / len(ordered), 2),
+    }
+
+
+def bench_reconfig(quick: bool) -> dict:
+    """Availability under churn: rolling replacement with online repair.
+
+    The acceptance-run shape of the reconfig backend: rolling-replace
+    permanently kills s1, s2, s3 in sequence and three repair steps retire
+    each dead member via a state-transfer round while client operations
+    keep flowing.  The run *asserts* atomic verdicts with zero incomplete
+    operations, the two-rounds-per-repair profile, and byte-identical
+    ``RunResult.to_dict()`` payloads across both engines — so CI fails on
+    a reconfiguration-semantics regression, never on timing.
+
+    The availability meter re-drives the same seeded workloads and
+    partitions client operations by whether their span overlaps a repair
+    window (repair invocation to completion), reporting operations
+    completed and worst/p99/mean latency in simulated ticks per bucket.
+    Repair windows are brief (two rounds), so the during-repair bucket is
+    small by design — the point is that it is *nonempty* (asserted) and
+    its latencies stay in family with steady state.
+    """
+    operations = 9
+    trials = 3 if quick else 6
+
+    def churn(engine: str) -> Cluster:
+        return (
+            Cluster("abd", t=1, S=3, backend="reconfig", engine=engine,
+                    allow_overfault=True)
+            .with_faults("rolling-replace", count=3, base=4, stagger=8)
+            .with_repairs((1, 40), (2, 110), (3, 180))
+            .with_workload(operations=operations, reads=0.5, spacing=30)
+            .check("atomicity")
+        )
+
+    cells = {}
+    payloads = {}
+    for engine in ENGINES:
+        started = time.perf_counter()
+        result = churn(engine).run(trials=trials, seed=3, keep_history=False)
+        seconds = time.perf_counter() - started
+        assert result.ok and result.incomplete == 0, (
+            f"churn run failed on {engine}: {result.failures()} "
+            f"({result.incomplete} incomplete)"
+        )
+        for trial in result.trials:
+            # Repair accounting gate: each of the three repairs is exactly
+            # one transfer read + one install.
+            assert trial.repair_rounds == [2, 2, 2], (
+                f"unexpected repair profile on {engine}: {trial.repair_rounds}"
+            )
+        payload = result.to_dict()
+        payload.pop("engine", None)
+        payloads[engine] = json.dumps(payload, sort_keys=True)
+        total_ops = trials * operations
+        cells[engine] = {
+            "operations": total_ops,
+            "seconds": round(seconds, 4),
+            "ops_per_sec": round(total_ops / seconds, 1),
+        }
+    # Parity gate: churn runs extend the engine-equivalence contract.
+    assert payloads["batched"] == payloads["event"], (
+        "churn run diverged between the event and batched engines"
+    )
+
+    during = {"read": [], "write": []}
+    steady = {"read": [], "write": []}
+    repair_latencies = []
+    for trial in range(trials):
+        with scoped_operation_serials():
+            backend = churn("event").build_backend()
+            plans = WorkloadGenerator(
+                seed=3 + trial, n_readers=2, read_fraction=0.5, spacing=30
+            ).plan(operations)
+            for plan in plans:
+                backend.schedule(plan)
+            backend.run()
+            windows = [
+                (op.invoked_at, op.completed_at)
+                for op in backend.simulator.operations
+                if op.op_id.kind == "repair"
+            ]
+            for op in backend.simulator.operations:
+                latency = op.completed_at - op.invoked_at
+                if op.op_id.kind == "repair":
+                    repair_latencies.append(latency)
+                    continue
+                overlaps = any(
+                    op.invoked_at <= hi and op.completed_at >= lo
+                    for lo, hi in windows
+                )
+                bucket = during if overlaps else steady
+                bucket[op.op_id.kind].append(latency)
+    during_count = sum(len(v) for v in during.values())
+    steady_count = sum(len(v) for v in steady.values())
+    # Meter sanity: the partition must not be one-sided — some operations
+    # overlap a repair window, most run in steady state.
+    assert during_count > 0, "no client operation overlapped a repair window"
+    assert steady_count > during_count, "repair windows swallowed the workload"
+
+    return {
+        "operations_per_trial": operations,
+        "trials": trials,
+        "repairs_per_trial": 3,
+        "engines": cells,
+        "identical_results": True,  # asserted above
+        "repair_rounds_each": 2,    # asserted above, per repair
+        "availability": {
+            "repair_latency_ticks": _latency_stats(repair_latencies),
+            "during_repair": {
+                "operations": during_count,
+                "read": _latency_stats(during["read"]),
+                "write": _latency_stats(during["write"]),
+            },
+            "steady_state": {
+                "operations": steady_count,
+                "read": _latency_stats(steady["read"]),
+                "write": _latency_stats(steady["write"]),
+            },
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -621,6 +766,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "sharded": bench_sharded(quick),
         "explore": bench_explore(quick),
         "storage": bench_storage(quick),
+        "reconfig": bench_reconfig(quick),
     }
     return report
 
@@ -676,6 +822,16 @@ def main(argv: list[str] | None = None) -> int:
           f"{meter['retained_bytes']:,} -> {meter['gc_retained_bytes']:,} bytes, "
           f"{meter['retained_timestamps']} -> {meter['gc_retained_timestamps']} "
           f"timestamp(s) retained")
+    reconfig = report["reconfig"]
+    availability = reconfig["availability"]
+    steady_reads = availability["steady_state"]["read"]
+    during_all = availability["during_repair"]
+    print(f"reconfig  : {reconfig['engines']['event']['ops_per_sec']:>10,} "
+          f"ops/sec under churn (identical across engines, "
+          f"{reconfig['repairs_per_trial']} repairs × {reconfig['repair_rounds_each']} "
+          f"rounds); availability: {during_all['operations']} op(s) during "
+          f"repair, {availability['steady_state']['operations']} steady "
+          f"(p99 read {steady_reads.get('p99', '-')} tick(s))")
     print(f"[saved to {args.output}]")
     return 0
 

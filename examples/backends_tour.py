@@ -121,13 +121,42 @@ def recovery_demo() -> None:
     print("recovery OK — object crashed, rejoined from its journal, run stayed atomic\n")
 
 
+def churn_demo() -> None:
+    """Reconfiguration under churn: every original object replaced once.
+
+    The ``reconfig`` backend advances membership through explicit epochs.
+    ``rolling-replace`` permanently kills s1, then s2, then s3 (staggered,
+    so at most t = 1 machine is down at any instant — hence
+    ``allow_overfault``); each ``with_repairs`` step retires the dead
+    member with an online state-transfer round (read a quorum of the old
+    epoch, install the newest state per key on a pre-provisioned spare)
+    and activates the next epoch while reads and writes keep flowing.
+    Repairs are ordinary two-round client operations, accounted separately
+    from reads and writes.
+    """
+    result = (
+        Cluster("abd", t=1, S=3, backend="reconfig", allow_overfault=True)
+        .with_faults("rolling-replace", count=3, base=4, stagger=8)
+        .with_repairs((1, 40), (2, 110), (3, 180))
+        .with_workload(operations=9, reads=0.5, spacing=30)
+        .check("atomicity")
+        .run(trials=2, seed=3)
+    )
+    print(result.render())
+    assert result.ok and result.incomplete == 0
+    for trial in result.trials:
+        assert trial.repair_rounds == [2, 2, 2]  # transfer read + install, ×3
+    print("churn OK — three permanent losses repaired online, run stayed atomic\n")
+
+
 def main() -> None:
     multi_writer_demo()
     sharded_demo()
     engine_demo()
     recovery_demo()
-    print("backend tour OK — one harness API, three cluster shapes, two engines, "
-          "durable recovery")
+    churn_demo()
+    print("backend tour OK — one harness API, four cluster shapes, two engines, "
+          "durable recovery and online repair")
 
 
 if __name__ == "__main__":

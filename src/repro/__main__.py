@@ -15,10 +15,13 @@ Commands:
 * ``list-scenarios`` [--t T]        — the scenario registry: fault plans and
                                       workload shapes at threshold ``t``.
 * ``list-faults``                   — the fault-behaviour registry: crash,
-                                      Byzantine echoes, and the crash-recover
-                                      family (needs ``--durability``).
+                                      Byzantine echoes, the crash-recover
+                                      family (needs ``--durability``) and the
+                                      churn family, with each behaviour's
+                                      accepted ``--fault-arg`` parameters.
 * ``run`` --protocol NAME [--backend NAME] [--keys N] [--writers N]
-  [--faults NAME [--fault-arg K=V]...] [--durability none|mem|dir]
+  [--scenario NAME] [--faults NAME [--fault-arg K=V]...]
+  [--durability none|mem|dir] [--repair MEMBER@AT]... [--xfer-quorum Q]
   [--t T] [--trials N] [--parallel] [--jsonl PATH] … —
   build a registry-driven experiment through the :class:`repro.api.Cluster`
   facade, run it (optionally on a process pool), print per-trial latencies
@@ -173,15 +176,26 @@ def _cmd_list_faults(_args: argparse.Namespace) -> int:
 
     rows = []
     for spec in fault_specs():
+        params = spec.params()
+        if params is None:
+            accepted = "(any)"  # maker takes **kwargs; nothing to enumerate
+        elif not params:
+            accepted = "-"
+        else:
+            accepted = ", ".join(
+                name if default is None else f"{name}={default}"
+                for name, default in params.items()
+            )
         rows.append({
             "name": spec.name,
             "model": spec.model,
             "aliases": ", ".join(spec.aliases) or "-",
+            "--fault-arg": accepted,
             "description": spec.description,
         })
     print(format_table(
         "registered fault behaviours",
-        ("name", "model", "aliases", "description"),
+        ("name", "model", "aliases", "--fault-arg", "description"),
         rows,
     ))
     return 0
@@ -253,6 +267,25 @@ def _cluster_from_args(args: argparse.Namespace):
     elif fault_kwargs or args.count != 1 or args.strict:
         raise ConfigurationError(
             "--fault-arg/--count/--strict have no effect without --faults"
+        )
+    repairs = []
+    for item in getattr(args, "repair", None) or ():
+        member, sep, at = item.partition("@")
+        if not sep or not member or not at:
+            raise ConfigurationError(f"--repair expects MEMBER@AT, got {item!r}")
+        try:
+            repairs.append((int(member), int(at)))
+        except ValueError:
+            raise ConfigurationError(
+                f"--repair expects integers, got {item!r}"
+            ) from None
+    spares = getattr(args, "spares", None)
+    xfer_quorum = getattr(args, "xfer_quorum", None)
+    if repairs:
+        cluster = cluster.with_repairs(*repairs, spares=spares, xfer_quorum=xfer_quorum)
+    elif spares is not None or xfer_quorum is not None:
+        raise ConfigurationError(
+            "--spares/--xfer-quorum have no effect without --repair"
         )
     return cluster.with_workload(reads=args.reads, spacing=args.spacing,
                                  operations=args.ops,
@@ -505,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--t", type=int, default=1, help="fault threshold")
     run.add_argument("--S", type=int, default=None, help="object count (default: protocol minimum)")
     run.add_argument("--readers", type=int, default=2, help="reader population")
+    run.add_argument("--scenario", default=None,
+                     help="named scenario (fault plan + workload shape)")
     run.add_argument("--faults", default=None, help="fault behaviour name (e.g. crash, stale-echo)")
     run.add_argument("--count", type=int, default=1, help="how many objects misbehave")
     run.add_argument("--fault-arg", dest="fault_arg", action="append", default=None,
@@ -513,6 +548,15 @@ def main(argv: list[str] | None = None) -> int:
                           "--fault-arg survive_messages=1 --fault-arg lag=2)")
     run.add_argument("--strict", action="store_true",
                      help="error instead of clamping --count to t")
+    run.add_argument("--allow-overfault", action="store_true",
+                     help="permit more than t faulty objects (churn/under-provisioned runs)")
+    run.add_argument("--repair", action="append", default=None, metavar="MEMBER@AT",
+                     help="replace member MEMBER with a spare at time AT "
+                          "(repeatable; needs --backend reconfig)")
+    run.add_argument("--spares", type=int, default=None,
+                     help="pre-provisioned spare objects (default: one per --repair)")
+    run.add_argument("--xfer-quorum", type=int, default=None,
+                     help="objects a state-transfer read must reach (default: S-t)")
     run.add_argument("--trials", type=int, default=3)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--ops", type=int, default=10, help="operations per trial")
@@ -561,6 +605,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="error instead of clamping --count to t")
     explore.add_argument("--allow-overfault", action="store_true",
                          help="permit more than t faulty objects (under-provisioned runs)")
+    explore.add_argument("--repair", action="append", default=None, metavar="MEMBER@AT",
+                         help="replace member MEMBER with a spare at time AT "
+                              "(repeatable; needs --backend reconfig)")
+    explore.add_argument("--spares", type=int, default=None,
+                         help="pre-provisioned spare objects (default: one per --repair)")
+    explore.add_argument("--xfer-quorum", type=int, default=None,
+                         help="objects a state-transfer read must reach (default: S-t)")
     explore.add_argument("--ops", type=int, default=3, help="operations in the workload")
     explore.add_argument("--reads", type=float, default=0.6, help="read fraction")
     explore.add_argument("--spacing", type=int, default=50,

@@ -27,6 +27,9 @@ class LatencyReport:
     scenario: str
     write_rounds: list[int] = field(default_factory=list)
     read_rounds: list[int] = field(default_factory=list)
+    #: Rounds used by membership-repair steps (reconfig backend only);
+    #: always exactly 2 per completed repair — transfer read + install.
+    repair_rounds: list[int] = field(default_factory=list)
     incomplete: int = 0
 
     @property
@@ -72,6 +75,8 @@ def _account_rounds(simulator, trace, report: LatencyReport, verify_against_wire
                 )
         if operation.op_id.kind == "write":
             report.write_rounds.append(rounds)
+        elif operation.op_id.kind == "repair":
+            report.repair_rounds.append(rounds)
         else:
             report.read_rounds.append(rounds)
 

@@ -71,6 +71,13 @@ class BackendRequest:
     #: Durability seam every backend wraps its object handlers in
     #: (see :data:`repro.storage.DURABILITIES`).
     durability: str = "none"
+    #: Membership-repair steps for the ``reconfig`` backend: ``(member_index,
+    #: at)`` pairs, each replacing one epoch member with a fresh spare.
+    repairs: tuple[tuple[int, int], ...] = ()
+    #: Pre-provisioned spare objects (``None``: one per repair step).
+    spares: int | None = None
+    #: State-transfer read quorum (``None``: the safe default ``S − t``).
+    xfer_quorum: int | None = None
 
 
 class SystemBackend(ABC):
@@ -133,6 +140,29 @@ class SingleRegisterBackend(SystemBackend):
         if plan.key is not None:
             raise ConfigurationError(
                 "the single backend holds one register — keyed plans need backend='sharded'"
+            )
+        if plan.kind == "write":
+            self.system.write(plan.value, at=plan.at)
+        else:
+            self.system.read(plan.client_index, at=plan.at)
+
+    def histories(self) -> dict[str, History]:
+        return {DEFAULT_KEY: self.system.history()}
+
+
+class ReconfigBackend(SystemBackend):
+    """One SWMR register on a membership that advances through epochs.
+
+    Plan routing matches the single backend; the repair steps carried by
+    the build request are armed by the wrapped system at ``run`` time, so
+    they ride behind the client plans in serial order.
+    """
+
+    def schedule(self, plan: OperationPlan) -> None:
+        if plan.key is not None:
+            raise ConfigurationError(
+                "the reconfig backend holds one register — keyed plans need "
+                "backend='sharded'"
             )
         if plan.kind == "write":
             self.system.write(plan.value, at=plan.at)
@@ -394,6 +424,33 @@ def _build_sharded(
     return ShardedBackend(system)
 
 
+def _build_reconfig(
+    protocol_spec: ProtocolSpec,
+    request: BackendRequest,
+    behaviors: Mapping[ProcessId, Any],
+    policy: DeliveryPolicy | None = None,
+) -> SystemBackend:
+    from repro.registers.reconfig import ReconfigRegisterSystem
+
+    protocol = _build_protocol(protocol_spec, request)
+    _reject_stack(protocol, protocol_spec, "reconfig")
+    system = ReconfigRegisterSystem(
+        protocol,
+        t=request.t,
+        S=request.S,
+        n_readers=request.n_readers,
+        behaviors=behaviors,
+        policy=policy,
+        allow_overfault=request.allow_overfault,
+        engine=request.engine,
+        durability=request.durability,
+        repairs=request.repairs,
+        spares=request.spares,
+        xfer_quorum=request.xfer_quorum,
+    )
+    return ReconfigBackend(system)
+
+
 register_backend(BackendSpec(
     name="single",
     builder=_build_single,
@@ -414,4 +471,11 @@ register_backend(BackendSpec(
     builder=_build_sharded,
     description="keyspace-sharded cluster: one register per key on shared objects",
     keyed=True,
+))
+
+register_backend(BackendSpec(
+    name="reconfig",
+    builder=_build_reconfig,
+    description="reconfigurable register: membership epochs, online state-transfer repair",
+    aliases=("epoch",),
 ))

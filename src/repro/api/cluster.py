@@ -216,6 +216,10 @@ class TrialResult:
     #: Space-meter report of the trial's durable journals (``None`` when
     #: the trial ran with ``durability="none"``) — plain data, serialized.
     storage: dict[str, Any] | None = None
+    #: Rounds used by membership-repair steps (reconfig backend only;
+    #: empty elsewhere, and omitted from to_dict when empty so existing
+    #: stored payloads stay byte-stable).
+    repair_rounds: list[int] = field(default_factory=list)
 
     @property
     def worst_write(self) -> int:
@@ -249,6 +253,8 @@ class TrialResult:
         }
         if self.storage is not None:
             payload["storage"] = self.storage
+        if self.repair_rounds:
+            payload["repair_rounds"] = list(self.repair_rounds)
         return payload
 
 
@@ -499,6 +505,9 @@ class TrialSpec:
     keep_trace: bool = False
     engine: str = "event"
     durability: str = "none"
+    repairs: tuple[tuple[int, int], ...] = ()
+    spares: int | None = None
+    xfer_quorum: int | None = None
 
     def backend_request(self) -> BackendRequest:
         """The build parameters the backend needs, as plain data."""
@@ -512,6 +521,9 @@ class TrialSpec:
             protocol_kwargs=self.protocol_kwargs,
             engine=self.engine,
             durability=self.durability,
+            repairs=self.repairs,
+            spares=self.spares,
+            xfer_quorum=self.xfer_quorum,
         )
 
     def plans(self) -> list[OperationPlan]:
@@ -618,6 +630,7 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             history=backend.history() if spec.keep_history else None,
             trace=backend.trace if spec.keep_trace else None,
             storage=storage,
+            repair_rounds=list(report.repair_rounds),
         )
 
 
@@ -768,6 +781,9 @@ class Cluster:
         self._schedule: tuple[PlannedSkip, ...] = ()
         self._engine = self._validate_engine(engine)
         self._durability = resolve_durability(durability)
+        self._repairs: tuple[tuple[int, int], ...] = ()
+        self._spares: int | None = None
+        self._xfer_quorum: int | None = None
         self._configure_backend(backend, keys, n_writers)
 
     @staticmethod
@@ -848,6 +864,10 @@ class Cluster:
         spec = fault_spec(fault)  # validates the name early
         if count < 0:
             raise ConfigurationError("fault count must be non-negative")
+        # Reject unknown maker arguments here, parent-side, so a typo'd
+        # --fault-arg fails with the accepted names instead of a TypeError
+        # inside a pool worker.
+        spec.validate_kwargs(kwargs)
         clone = self._clone()
         clone._scenario = None
         clone._fault_groups = self._fault_groups + (
@@ -958,6 +978,57 @@ class Cluster:
         clone._fault_groups = ()
         clone._read_fraction = scenario.read_fraction
         clone._spacing = scenario.spacing
+        if scenario.fault_plan.overfault:
+            # Fleet-wide plans (rolling restarts) deliberately exceed t —
+            # the scenario opts in so the behaviour budget isn't clamped.
+            clone._allow_overfault = True
+        return clone
+
+    def with_repairs(
+        self,
+        *steps: tuple[int, int],
+        spares: int | None = None,
+        xfer_quorum: int | None = None,
+    ) -> "Cluster":
+        """Schedule membership-repair steps (reconfig backend only).
+
+        Each step is ``(member_index, at)``: replace epoch member
+        ``s_member_index`` starting at virtual time ``at``; the k-th step
+        activates the pre-provisioned spare ``s_{S+k}``.  ``spares``
+        overrides the spare-pool size (default: one per step);
+        ``xfer_quorum`` overrides the state-transfer read quorum (default
+        ``S − t``, the safe intersection quorum — smaller values are the
+        misconfiguration the schedule explorer refutes).
+        """
+        if self.backend_spec.name != "reconfig":
+            raise ConfigurationError(
+                f"repairs need the reconfig backend, not {self.backend_spec.name!r}; "
+                "build the cluster with backend='reconfig'"
+            )
+        compiled: list[tuple[int, int]] = []
+        for step in steps:
+            if not isinstance(step, tuple) or len(step) != 2:
+                raise ConfigurationError(
+                    f"repair steps are (member_index, at) pairs, got {step!r}"
+                )
+            member, at = step
+            if member < 1:
+                raise ConfigurationError(
+                    f"repair member indices are 1-based, got {member}"
+                )
+            if at < 0:
+                raise ConfigurationError(f"repair time must be non-negative, got {at}")
+            compiled.append((int(member), int(at)))
+        if spares is not None and spares < 0:
+            raise ConfigurationError("spares must be non-negative")
+        if xfer_quorum is not None and xfer_quorum < 1:
+            raise ConfigurationError("xfer_quorum must be at least 1")
+        clone = self._clone()
+        clone._repairs = self._repairs + tuple(compiled)
+        if spares is not None:
+            clone._spares = spares
+        if xfer_quorum is not None:
+            clone._xfer_quorum = xfer_quorum
         return clone
 
     def with_workload(
@@ -1093,7 +1164,29 @@ class Cluster:
             protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
             engine=self._engine,
             durability=self._durability,
+            repairs=self._repairs,
+            spares=self._spares,
+            xfer_quorum=self._xfer_quorum,
         )
+
+    def _require_scenario_durability(self) -> None:
+        """Fail parent-side when a scenario needs the durability seam.
+
+        Recovery scenarios (rolling-restart, crash-storm) replay journals
+        on rejoin; without a store the fault behaviour would raise
+        StorageError on first delivery *inside* a trial — possibly inside a
+        pool worker.  Surface the configuration error here instead.
+        """
+        if (
+            self._scenario is not None
+            and self._scenario.requires_durability
+            and self._durability == "none"
+        ):
+            raise ConfigurationError(
+                f"scenario {self._scenario.name!r} replays durable journals "
+                "and needs durability='mem' or durability='dir' "
+                "(CLI: --durability mem)"
+            )
 
     def build_backend(self) -> SystemBackend:
         """One configured :class:`~repro.api.backends.SystemBackend`."""
@@ -1154,6 +1247,9 @@ class Cluster:
                 keep_trace=keep_trace,
                 engine=self._engine,
                 durability=self._durability,
+                repairs=self._repairs,
+                spares=self._spares,
+                xfer_quorum=self._xfer_quorum,
             )
             for index in range(trials)
         ]
@@ -1169,6 +1265,7 @@ class Cluster:
         """
         if trials < 1:
             raise ConfigurationError("need at least one trial")
+        self._require_scenario_durability()
         behaviors, inventory = self._materialize_faults()
         probe = self.backend_spec.build(self._spec, self._backend_request(), behaviors)
         result = RunResult(
@@ -1257,6 +1354,7 @@ class Cluster:
         """
         from repro.explore.engine import ScheduleProbe, explore_probe
 
+        self._require_scenario_durability()
         plans = tuple(self._plans(seed))
         checks = self._checks or (self._spec.default_check(),)
         probe = ScheduleProbe(
@@ -1278,6 +1376,9 @@ class Cluster:
             max_events=max_events,
             engine=self._engine,
             durability=self._durability,
+            repairs=self._repairs,
+            spares=self._spares,
+            xfer_quorum=self._xfer_quorum,
         )
         return explore_probe(
             probe,

@@ -13,6 +13,7 @@ lookup imports :mod:`repro.faults`) so this module stays import-cycle-free.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -33,12 +34,51 @@ class FaultSpec:
         """A fresh behaviour instance."""
         return self.maker(**kwargs)
 
+    def params(self) -> dict[str, Any] | None:
+        """Accepted keyword parameters mapped to their defaults.
+
+        Introspected from the maker's signature so ``repro list-faults``
+        and parent-side ``--fault-arg`` validation stay in lockstep with
+        what :meth:`build` actually accepts.  Returns ``None`` when the
+        maker takes ``**kwargs`` (its parameter set is open-ended and
+        cannot be validated up front).
+        """
+        params: dict[str, Any] = {}
+        for param in inspect.signature(self.maker).parameters.values():
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                return None
+            if param.kind is inspect.Parameter.VAR_POSITIONAL:
+                continue
+            params[param.name] = (
+                None if param.default is inspect.Parameter.empty else param.default
+            )
+        return params
+
+    def validate_kwargs(self, kwargs: dict[str, Any]) -> None:
+        """Reject keyword arguments :meth:`build` would choke on.
+
+        Raised parent-side (before any worker pool spins up) so a typo'd
+        ``--fault-arg`` fails with the accepted parameter names instead of
+        a ``TypeError`` inside a worker process.
+        """
+        params = self.params()
+        if params is None:
+            return
+        unknown = sorted(set(kwargs) - set(params))
+        if unknown:
+            accepted = ", ".join(sorted(params)) if params else "none"
+            raise ConfigurationError(
+                f"fault {self.name!r} got unknown argument(s) "
+                f"{', '.join(repr(k) for k in unknown)}; accepted: {accepted}"
+            )
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "model": self.model,
             "aliases": list(self.aliases),
             "description": self.description,
+            "params": self.params(),
         }
 
 
@@ -75,6 +115,7 @@ def _ensure_registered() -> None:
     _BOOTSTRAPPED = True
     from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
     from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+    from repro.faults.churn import Flap, PermanentCrash, RollingReplace
     from repro.faults.recovery import CrashRecoverAt, FsyncLag, TornWrite
 
     register_fault(
@@ -132,6 +173,27 @@ def _ensure_registered() -> None:
         ),
         model="benign",
         description="crash tears the last journal record; recovery discards it",
+    )
+    register_fault(
+        "perm-crash",
+        lambda survive_messages=3: PermanentCrash(survive_messages=survive_messages),
+        model="benign",
+        aliases=("permanent-crash",),
+        description="fail for good mid-run: dark forever, nothing to recover",
+    )
+    register_fault(
+        "flap",
+        lambda survive_messages=2, rejoin_after=1, cycles=2: Flap(
+            survive_messages=survive_messages, rejoin_after=rejoin_after, cycles=cycles
+        ),
+        model="benign",
+        description="repeated crash-recover cycles before finally stabilising",
+    )
+    register_fault(
+        "rolling-replace",
+        lambda base=3, stagger=6: RollingReplace(base=base, stagger=stagger),
+        model="benign",
+        description="staggered permanent crashes: s1 dies, then s2, then s3",
     )
 
 

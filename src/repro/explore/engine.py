@@ -108,6 +108,13 @@ class ScheduleProbe:
     #: is an ordinary explorer choice point, so stale-rejoin violations
     #: minimize to witnesses and clean sweeps certify the configuration.
     durability: str = "none"
+    #: Membership-repair steps for the reconfig backend.  Repairs are
+    #: client operations, so their transfer/install messages enter the
+    #: hold alphabet like any others — epoch-transition timing relative to
+    #: client rounds is an ordinary explorer choice point.
+    repairs: tuple[tuple[int, int], ...] = ()
+    spares: int | None = None
+    xfer_quorum: int | None = None
 
     def backend_request(self) -> BackendRequest:
         return BackendRequest(
@@ -120,6 +127,9 @@ class ScheduleProbe:
             protocol_kwargs=self.protocol_kwargs,
             engine=self.engine,
             durability=self.durability,
+            repairs=self.repairs,
+            spares=self.spares,
+            xfer_quorum=self.xfer_quorum,
         )
 
     def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":

@@ -177,6 +177,9 @@ class ScheduleWitness:
             "max_events": probe.max_events,
             "engine": probe.engine,
             "durability": probe.durability,
+            "repairs": [[member, at] for member, at in probe.repairs],
+            "spares": probe.spares,
+            "xfer_quorum": probe.xfer_quorum,
             "decisions": [link.to_json() for link in self.decisions],
             "discovered": [link.to_json() for link in self.discovered],
             "failures": [list(pair) for pair in self.failures],
@@ -241,6 +244,13 @@ class ScheduleWitness:
             # Absent means the crash-stop objects every pre-durability
             # witness was recorded against, so the corpus stays replayable.
             durability=data.get("durability", "none"),
+            # Absent means the static membership every pre-reconfig witness
+            # was recorded against.
+            repairs=tuple(
+                (int(member), int(at)) for member, at in data.get("repairs", ())
+            ),
+            spares=data.get("spares"),
+            xfer_quorum=data.get("xfer_quorum"),
         )
         return cls(
             probe=probe,

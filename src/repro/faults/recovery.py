@@ -68,6 +68,15 @@ class CrashRecoverAt(FaultBehavior):
 
     # -- subclass hooks ------------------------------------------------
 
+    def _configure(self, server: ObjectServer) -> None:
+        """Derive per-object parameters before the first delivery.
+
+        Runs once, ahead of :meth:`_prepare`, with the owning server in
+        hand — the hook that lets one zero-argument fault maker stagger
+        its phase machine by ``server.pid.index`` (rolling restarts)
+        without per-object constructor arguments.
+        """
+
     def _prepare(self, store: StableStorage) -> None:
         """Configure the store before the first delivery is handled."""
 
@@ -88,6 +97,7 @@ class CrashRecoverAt(FaultBehavior):
     def before_handle(self, server: ObjectServer, message: Message) -> bool:
         if not self._prepared:
             self._prepared = True
+            self._configure(server)
             self._prepare(self._store(server))
         if self.phase == "up":
             # messages_seen was already incremented for this delivery.

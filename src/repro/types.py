@@ -26,6 +26,11 @@ class Role(enum.Enum):
     OBJECT = "object"
     WRITER = "writer"
     READER = "reader"
+    #: Repair coordinators: one per membership-epoch transition in a
+    #: reconfigurable system (see :mod:`repro.registers.reconfig`).  They
+    #: are clients like readers/writers, but their operations carry state
+    #: transfer, not register semantics, so they get their own role.
+    REPAIR = "repair"
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,7 +86,7 @@ class ProcessId:
         return Role(self.role_value)
 
     def __str__(self) -> str:
-        prefix = {"object": "s", "writer": "w", "reader": "r"}[self.role_value]
+        prefix = {"object": "s", "writer": "w", "reader": "r", "repair": "q"}[self.role_value]
         if self.role_value == "writer":
             return prefix
         return f"{prefix}{self.index}"
@@ -104,6 +109,13 @@ def reader_id(index: int) -> ProcessId:
     if index < 1:
         raise ValueError(f"reader indices are 1-based, got {index}")
     return ProcessId(Role.READER.value, index)
+
+
+def repair_id(index: int) -> ProcessId:
+    """Identifier of repair coordinator ``q_index`` (1-based, one per epoch step)."""
+    if index < 1:
+        raise ValueError(f"repair indices are 1-based, got {index}")
+    return ProcessId(Role.REPAIR.value, index)
 
 
 def object_ids(count: int) -> tuple[ProcessId, ...]:
@@ -238,8 +250,10 @@ class OperationId:
 
 def fresh_operation_id(client: ProcessId, kind: str) -> OperationId:
     """Allocate a process-unique operation identifier."""
-    if kind not in ("read", "write"):
-        raise ValueError(f"operation kind must be 'read' or 'write', got {kind!r}")
+    if kind not in ("read", "write", "repair"):
+        raise ValueError(
+            f"operation kind must be 'read', 'write' or 'repair', got {kind!r}"
+        )
     return OperationId(client=client, kind=kind)
 
 

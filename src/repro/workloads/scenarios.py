@@ -16,6 +16,7 @@ from typing import Callable, Mapping
 from repro.errors import ConfigurationError
 from repro.faults.adversary import CrashAt, SilentBehavior
 from repro.faults.byzantine import FabricatingBehavior, StaleEchoBehavior
+from repro.faults.churn import Flap, RollingRestart
 from repro.sim.network import DeliveryPolicy
 from repro.sim.process import FaultBehavior, ObjectServer
 from repro.types import ProcessId, object_id
@@ -39,11 +40,19 @@ class FaultPlan:
     count: int
     maker: Callable[[], FaultBehavior] | None
     strict: bool = False
+    #: Fleet-wide plans (rolling restarts hit *every* object) opt out of
+    #: the threshold clamp: the full ``count`` materializes, and adopting
+    #: clusters flip ``allow_overfault`` on.  Legal because the faults are
+    #: staggered — at most ``t`` machines are down at any one time even
+    #: though more than ``t`` misbehave over the whole run.
+    overfault: bool = False
 
     def effective_count(self, t: int) -> int:
         """How many objects actually misbehave at threshold ``t``."""
         if self.maker is None:
             return 0
+        if self.overfault:
+            return self.count
         return min(self.count, t)
 
     def behaviors(self, t: int) -> Mapping[ProcessId, FaultBehavior]:
@@ -82,6 +91,11 @@ class Scenario:
     spacing: int = 25
     description: str = ""
     policy_factory: Callable[[], "DeliveryPolicy"] | None = None
+    #: Recovery scenarios replay durable journals on rejoin, so adopting
+    #: clusters must run with ``durability='mem'`` or ``'dir'``; the facade
+    #: checks this parent-side and fails with a clear error before any
+    #: trial (or pool worker) starts.
+    requires_durability: bool = False
 
 
 # --------------------------------------------------------------------- #
@@ -158,6 +172,40 @@ register_scenario(
         name="fabricate",
         fault_plan=FaultPlan("fabricate", t, lambda: FabricatingBehavior()),
         description=f"{t} objects fabricate inflated timestamps",
+    ),
+)
+register_scenario(
+    "rolling-restart",
+    lambda t: Scenario(
+        name="rolling-restart",
+        # Every object of the default 2t+1 crash-family layout restarts
+        # once, in index order: s_i crashes after its (3 + (i-1)·6)-th
+        # delivery and rejoins from its journal two deliveries later.  The
+        # stagger keeps at most t machines down at once, so the plan is
+        # legal despite touching more than t objects over the run.
+        fault_plan=FaultPlan(
+            "rolling-restart",
+            2 * t + 1,
+            lambda: RollingRestart(base=3, stagger=6, rejoin_after=2),
+            overfault=True,
+        ),
+        description="crash-recover every object in sequence (staggered restarts)",
+        requires_durability=True,
+    ),
+)
+register_scenario(
+    "crash-storm",
+    lambda t: Scenario(
+        name="crash-storm",
+        # One machine stuck in a crash-recover loop: three crashes, each
+        # after two honest deliveries, each dark for one delivery.
+        fault_plan=FaultPlan(
+            "crash-storm",
+            1,
+            lambda: Flap(survive_messages=2, rejoin_after=1, cycles=3),
+        ),
+        description="repeated crash-recover cycles on one object",
+        requires_durability=True,
     ),
 )
 

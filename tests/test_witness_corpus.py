@@ -85,3 +85,26 @@ def test_stale_rejoin_witness_shape():
     assert witness.probe.fault_groups and witness.probe.fault_groups[0].fault == "fsync-lag"
     assert len(witness.decisions) == 1
     assert witness.failures and witness.failures[0][0] == "atomicity"
+
+
+def test_underquorum_transfer_witness_shape():
+    """The under-quorum repair witness: state transfer below S−t loses writes.
+
+    s1 permanently crashes after one delivery and is replaced by a spare;
+    with ``xfer_quorum=1`` the transfer read may reach *only* the dead
+    member's blank successor-to-be, so the install round seeds the new
+    epoch from ⊥.  One held link then steers a later read onto a quorum
+    containing the freshly activated spare, which answers with the
+    resurrected initial value — an atomicity violation that disappears at
+    the sound default quorum (the explorer certifies that configuration at
+    the same bounds, see tests/test_reconfig.py).
+    """
+    witness = ScheduleWitness.load(WITNESS_DIR / "underquorum_transfer.json")
+    assert witness.probe.protocol == "abd"
+    assert witness.probe.backend == "reconfig"
+    assert witness.probe.repairs == ((1, 5),)
+    assert witness.probe.xfer_quorum == 1
+    assert witness.probe.fault_groups and witness.probe.fault_groups[0].fault == "perm-crash"
+    assert len(witness.decisions) == 1
+    assert witness.failures and witness.failures[0][0] == "atomicity"
+    assert "stale read" in witness.failures[0][1]
