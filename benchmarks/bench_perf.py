@@ -3,7 +3,7 @@
 
 Unlike the figure/table benchmarks (which reproduce the paper's *results*),
 this file tracks how fast the reproduction itself runs, so every PR has a
-trajectory to beat.  Four meters:
+trajectory to beat.  The meters:
 
 * **simulator** — events/sec through the network + round engine on seeded
   workloads over three protocols, measured on **both simulation engines**
@@ -37,7 +37,13 @@ trajectory to beat.  Four meters:
   membership-epoch backend) on both engines with *asserted* result parity
   and the *asserted* two-rounds-per-repair profile, plus the availability
   meter — operations completed and worst/p99 client latency (simulated
-  ticks) during repair windows vs steady state.
+  ticks) during repair windows vs steady state;
+* **consistency** — the spectrum layer: k-atomicity checks/sec of the
+  greedy SWMR verifier against the plain atomicity checker on adversarial
+  single-writer histories (the run *asserts* verdict-for-verdict k = 1
+  parity), and the bounded-stale backend's measured staleness by
+  k ∈ {1, 2, 4} (the run *asserts* ``max ≤ k − 1`` and byte-identical
+  event/batched payloads on every bound).
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -71,11 +77,18 @@ from repro.registers.base import RegisterSystem
 from repro.sim.batched import ENGINES
 from repro.spec.history import History, OperationRecord
 from repro.spec.linearizability import is_linearizable, is_linearizable_reference
-from repro.types import ProcessId, fresh_operation_id, reader_id, scoped_operation_serials
+from repro.types import (
+    BOTTOM,
+    ProcessId,
+    fresh_operation_id,
+    reader_id,
+    scoped_operation_serials,
+    writer_id,
+)
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -749,6 +762,150 @@ def bench_reconfig(quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Consistency spectrum: k-verifier throughput + measured staleness
+# --------------------------------------------------------------------- #
+
+
+def swmr_adversarial_history(seed: int, writes: int = 6, n_readers: int = 4,
+                             reads_per_reader: int = 3, n_values: int = 3) -> History:
+    """An overlap-heavy *single-writer* history for the greedy k-verifier.
+
+    One sequential writer over a small value pool (duplicates multiply the
+    candidate sets), several readers whose long intervals overlap most of
+    the write span, read values sampled from the pool plus ⊥ — roughly
+    half the histories violate atomicity, so neither checker path is
+    exercised one-sidedly.
+    """
+    rng = random.Random(seed)
+    records = []
+    writer = writer_id()
+    clock = 1
+    for _ in range(writes):
+        duration = rng.randint(2, 8)
+        records.append(_op("write", writer, clock, clock + duration,
+                           f"v{rng.randint(1, n_values)}"))
+        clock += duration + rng.randint(1, 4)
+    pool = [BOTTOM] + [f"v{v}" for v in range(1, n_values + 1)]
+    for index in range(n_readers):
+        reader = reader_id(index + 1)
+        reader_clock = rng.randint(1, 6)
+        for _ in range(reads_per_reader):
+            duration = rng.randint(2, 14)
+            records.append(_op("read", reader, reader_clock,
+                               reader_clock + duration, rng.choice(pool)))
+            reader_clock += duration + rng.randint(1, 8)
+    return History(records)
+
+
+def bench_consistency(quick: bool) -> dict:
+    """The spectrum layer: k-verifier vs atomicity checker, staleness by k.
+
+    Two sub-meters.  **checker** times ``check_k_atomicity(h, 1)`` against
+    ``check_swmr_atomicity`` on identical adversarial SWMR histories and
+    *asserts* verdict-for-verdict agreement (ok and violated property) —
+    the greedy k-pass must be the atomicity checker at k = 1, never just
+    close to it.  **staleness** runs the bounded-stale backend at
+    k ∈ {1, 2, 4}, *asserts* the measured lag never reaches the bound and
+    that both simulation engines produce byte-identical payloads, and
+    reports the distribution plus end-to-end ops/sec per bound.
+    """
+    from repro.consistency import check_k_atomicity, read_staleness
+    from repro.spec.atomicity import check_swmr_atomicity
+
+    count = 25 if quick else 120
+    histories = [swmr_adversarial_history(seed) for seed in range(count)]
+    operations_per_history = 6 + 4 * 3
+
+    started = time.perf_counter()
+    k_verdicts = [check_k_atomicity(history, 1) for history in histories]
+    k_atomic_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    atomicity_verdicts = [check_swmr_atomicity(history) for history in histories]
+    atomicity_seconds = time.perf_counter() - started
+
+    disagreements = [
+        seed
+        for seed, (k1, plain) in enumerate(zip(k_verdicts, atomicity_verdicts))
+        if (k1.ok, k1.violated_property) != (plain.ok, plain.violated_property)
+    ]
+    assert not disagreements, (
+        f"check_k_atomicity(h, 1) disagrees with check_swmr_atomicity on "
+        f"history seeds {disagreements}"
+    )
+
+    checker = {
+        "histories": count,
+        "operations_per_history": operations_per_history,
+        "atomic_fraction": round(sum(v.ok for v in k_verdicts) / count, 3),
+        "k_atomic_seconds": round(k_atomic_seconds, 4),
+        "atomicity_seconds": round(atomicity_seconds, 4),
+        "k_atomic_checks_per_sec": round(count / k_atomic_seconds),
+        "atomicity_checks_per_sec": round(count / atomicity_seconds),
+        "relative": round(k_atomic_seconds / atomicity_seconds, 2),
+        "verdicts_equal": True,
+    }
+
+    operations = 24
+    trials = 2 if quick else 4
+    by_k = []
+    for bound in (1, 2, 4):
+        results = {}
+        seconds = {}
+        for engine in ENGINES:
+            cluster = (
+                Cluster("abd", t=1, n_readers=3, engine=engine,
+                        consistency=f"k-atomic({bound})")
+                .with_workload(operations=operations, spacing=25)
+                .check(f"k-atomic({bound})")
+            )
+            started = time.perf_counter()
+            results[engine] = cluster.run(
+                trials=trials, seed=5, keep_history=(engine == "event")
+            )
+            seconds[engine] = time.perf_counter() - started
+            assert results[engine].ok, f"k-atomic({bound}) failed on {engine}"
+        payloads = {}
+        for engine, result in results.items():
+            payload = result.to_dict()
+            payload.pop("engine", None)
+            # keep_history is metadata-free, so payloads stay comparable
+            payloads[engine] = json.dumps(payload, sort_keys=True)
+        assert payloads["event"] == payloads["batched"], (
+            f"engine payloads diverged on the k-atomic({bound}) backend"
+        )
+        samples = [
+            lag
+            for trial in results["event"].trials
+            for lag in read_staleness(trial.history)
+            if lag is not None
+        ]
+        assert max(samples) <= bound - 1, (
+            f"staleness exceeded the configured bound on k-atomic({bound})"
+        )
+        stats = _latency_stats(samples)
+        by_k.append({
+            "k": bound,
+            "reads": stats["operations"],
+            "max": stats["worst"],
+            "mean": stats["mean"],
+            "p99": stats["p99"],
+            "ops_per_sec": round(operations * trials / seconds["event"], 1),
+        })
+
+    return {
+        "checker": checker,
+        "staleness": {
+            "operations_per_trial": operations,
+            "trials": trials,
+            "by_k": by_k,
+            "bound_respected": True,
+            "identical_results": True,
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -767,6 +924,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "explore": bench_explore(quick),
         "storage": bench_storage(quick),
         "reconfig": bench_reconfig(quick),
+        "consistency": bench_consistency(quick),
     }
     return report
 
@@ -832,6 +990,17 @@ def main(argv: list[str] | None = None) -> int:
           f"rounds); availability: {during_all['operations']} op(s) during "
           f"repair, {availability['steady_state']['operations']} steady "
           f"(p99 read {steady_reads.get('p99', '-')} tick(s))")
+    consistency = report["consistency"]
+    spectrum_checker = consistency["checker"]
+    staleness_p99 = ", ".join(
+        f"k={row['k']}: {row['p99']}" for row in consistency["staleness"]["by_k"]
+    )
+    print(f"consistency: {spectrum_checker['k_atomic_checks_per_sec']:>9,} "
+          f"k-atomicity checks/sec vs "
+          f"{spectrum_checker['atomicity_checks_per_sec']:,} atomicity "
+          f"({spectrum_checker['relative']}x, k=1 verdicts equal); "
+          f"staleness p99 by bound [{staleness_p99}] "
+          f"(max <= k-1 and engine parity asserted)")
     print(f"[saved to {args.output}]")
     return 0
 

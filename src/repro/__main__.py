@@ -14,6 +14,10 @@ Commands:
                                       multi-writer, sharded, and plugins.
 * ``list-scenarios`` [--t T]        — the scenario registry: fault plans and
                                       workload shapes at threshold ``t``.
+* ``list-checkers``                 — the consistency-checker registry:
+                                      atomicity, regularity, safety,
+                                      linearizability and the parametric
+                                      ``k-atomic(N)`` family.
 * ``list-faults``                   — the fault-behaviour registry: crash,
                                       Byzantine echoes, the crash-recover
                                       family (needs ``--durability``) and the
@@ -22,6 +26,7 @@ Commands:
 * ``run`` --protocol NAME [--backend NAME] [--keys N] [--writers N]
   [--scenario NAME] [--faults NAME [--fault-arg K=V]...]
   [--durability none|mem|dir] [--repair MEMBER@AT]... [--xfer-quorum Q]
+  [--consistency MODEL] [--check-model atomic|regular|safe|k-atomic [--k N]]
   [--t T] [--trials N] [--parallel] [--jsonl PATH] … —
   build a registry-driven experiment through the :class:`repro.api.Cluster`
   facade, run it (optionally on a process pool), print per-trial latencies
@@ -29,8 +34,9 @@ Commands:
   result as one JSON line.
 * ``compare`` A.jsonl B.jsonl — diff two stored result files and flag
   round-count / latency / completion regressions (exit 1 when B regressed).
-  Rows are matched on protocol, scenario, sizes *and* backend/key layout,
-  so runs from different backends are never compared as like-for-like.
+  Rows are matched on protocol, scenario, sizes, backend/key layout *and*
+  consistency model, so runs from different backends or models are never
+  compared as like-for-like.
 * ``explore`` --protocol NAME [--max-holds N] [--strategy bfs|dfs]
   [--granularity operation|round] [--witness PATH] [--expect-violation] … —
   bounded model check over held-message schedules: certify the
@@ -225,6 +231,56 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_checkers(_args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.consistency import checker_specs
+
+    rows = []
+    for spec in checker_specs():
+        rows.append({
+            "name": spec.name,
+            "parametric": "--k N" if spec.parametric else "-",
+            "aliases": ", ".join(spec.aliases) or "-",
+            "description": spec.description,
+        })
+    print(format_table(
+        "registered consistency checkers",
+        ("name", "parametric", "aliases", "description"),
+        rows,
+    ))
+    return 0
+
+
+def _checks_from_args(args: argparse.Namespace) -> tuple[str, ...]:
+    """The check names a ``run``/``explore`` invocation asks for.
+
+    ``--check`` names are taken verbatim (aliases and ``k-atomic(N)``
+    spellings allowed), ``--check-model`` appends its model's checker, and
+    ``--k`` parameterizes whichever of them is a bare ``k-atomic``.  With
+    neither flag the protocol's own default check applies.
+    """
+    from repro.api import get_spec
+    from repro.consistency import canonical_check_name
+    from repro.errors import ConfigurationError
+
+    names = list(args.check or ())
+    if getattr(args, "check_model", None):
+        names.append(args.check_model)
+    k = getattr(args, "k", None)
+    if not names:
+        if k is not None:
+            raise ConfigurationError(
+                "--k has no effect without --check-model k-atomic or --check k-atomic"
+            )
+        return (get_spec(args.protocol).default_check(),)
+    canonical = tuple(canonical_check_name(name, k) for name in names)
+    if k is not None and not any(name.startswith("k-atomic") for name in canonical):
+        raise ConfigurationError(
+            "--k has no effect without --check-model k-atomic or --check k-atomic"
+        )
+    return canonical
+
+
 def _cluster_from_args(args: argparse.Namespace):
     """The :class:`~repro.api.Cluster` both ``run`` and ``explore`` build.
 
@@ -246,6 +302,7 @@ def _cluster_from_args(args: argparse.Namespace):
         n_writers=args.writers_count,
         engine=args.engine,
         durability=getattr(args, "durability", "none"),
+        consistency=getattr(args, "consistency", "atomic"),
         allow_overfault=getattr(args, "allow_overfault", False),
     )
     if getattr(args, "scenario", None):
@@ -295,10 +352,8 @@ def _cluster_from_args(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
-    from repro.api import get_spec
-
     cluster = _cluster_from_args(args)
-    checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
+    checks = _checks_from_args(args)
     result = cluster.check(*checks).run(
         trials=args.trials,
         seed=args.seed,
@@ -331,11 +386,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _load_jsonl(path: str) -> dict[tuple, dict]:
-    """Index a ``run --jsonl`` file by protocol, scenario, sizes and backend.
+    """Index a ``run --jsonl`` file by protocol, scenario, sizes, backend
+    and consistency model.
 
-    The key includes the backend name, key count and writer count (absent
-    fields mean the default single backend, so files written before
-    backends existed stay comparable).  Rows produced by different
+    The key includes the backend name, key count, writer count and the
+    consistency model (absent fields mean the default single backend with
+    atomic reads, so files written before backends or the consistency
+    spectrum existed stay comparable).  Rows produced by different
     backends therefore never match each other — a sharded 8-key run is not
     like-for-like with a single-register one even if every other dimension
     agrees.  A later line for the same key supersedes earlier ones, so a
@@ -359,7 +416,8 @@ def _load_jsonl(path: str) -> dict[tuple, dict]:
                    record.get("t"), record.get("n_readers"),
                    record.get("backend", "single"), record.get("keys", 1),
                    record.get("writers", 1), record.get("engine", "event"),
-                   record.get("durability", "none"))
+                   record.get("durability", "none"),
+                   record.get("consistency", "atomic"))
             runs[key] = record
     return runs
 
@@ -386,6 +444,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             label += f" [engine={key[7]}]"
         if key[8] != "none":
             label += f" [durability={key[8]}]"
+        if key[9] != "atomic":
+            label += f" [consistency={key[9]}]"
         for metric in ("worst_write", "worst_read", "incomplete"):
             old, new = a.get(metric, 0), b.get(metric, 0)
             if new > old:
@@ -420,10 +480,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from repro.api import get_spec
-
     cluster = _cluster_from_args(args)
-    checks = tuple(args.check) if args.check else (get_spec(args.protocol).default_check(),)
+    checks = _checks_from_args(args)
     result = cluster.check(*checks).explore(
         max_holds=args.max_holds,
         max_schedules=args.max_schedules,
@@ -513,6 +571,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list-protocols", help="show the protocol registry")
     sub.add_parser("list-backends", help="show the system-backend registry")
     sub.add_parser("list-faults", help="show the fault-behaviour registry")
+    sub.add_parser("list-checkers", help="show the consistency-checker registry")
 
     scenarios = sub.add_parser("list-scenarios", help="show the scenario registry")
     scenarios.add_argument("--t", type=int, default=1,
@@ -535,6 +594,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="object-state durability (mem: in-memory journal, "
                           "dir: append-only log per object; enables "
                           "crash-recover faults and the space meter)")
+    run.add_argument("--consistency", default="atomic", metavar="MODEL",
+                     help="consistency model the backend serves: atomic "
+                          "(default) or k-atomic(N) (bounded-stale reads; "
+                          "routes single/sharded onto the k-atomic backend)")
     run.add_argument("--t", type=int, default=1, help="fault threshold")
     run.add_argument("--S", type=int, default=None, help="object count (default: protocol minimum)")
     run.add_argument("--readers", type=int, default=2, help="reader population")
@@ -564,6 +627,12 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--spacing", type=int, default=50, help="mean gap between invocations")
     run.add_argument("--check", action="append", default=None,
                      help="consistency check to run (repeatable; default: the protocol's own)")
+    run.add_argument("--check-model", dest="check_model", default=None,
+                     choices=("atomic", "regular", "safe", "k-atomic"),
+                     help="consistency model to check against "
+                          "(shorthand for --check; see list-checkers)")
+    run.add_argument("--k", type=int, default=None,
+                     help="staleness bound for --check-model/--check k-atomic")
     run.add_argument("--parallel", action="store_true",
                      help="execute trials on a process pool (identical results)")
     run.add_argument("--workers", type=int, default=None,
@@ -589,6 +658,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="simulation engine schedules are evaluated on")
     explore.add_argument("--durability", choices=("none", "mem", "dir"), default="none",
                          help="object-state durability backing crash-recover faults")
+    explore.add_argument("--consistency", default="atomic", metavar="MODEL",
+                         help="consistency model the backend serves: atomic "
+                              "(default) or k-atomic(N)")
     explore.add_argument("--t", type=int, default=1, help="fault threshold")
     explore.add_argument("--S", type=int, default=None,
                          help="object count (default: protocol minimum)")
@@ -619,6 +691,12 @@ def main(argv: list[str] | None = None) -> int:
     explore.add_argument("--seed", type=int, default=0, help="workload seed")
     explore.add_argument("--check", action="append", default=None,
                          help="consistency check (repeatable; default: the protocol's own)")
+    explore.add_argument("--check-model", dest="check_model", default=None,
+                         choices=("atomic", "regular", "safe", "k-atomic"),
+                         help="consistency model to check against "
+                              "(shorthand for --check; see list-checkers)")
+    explore.add_argument("--k", type=int, default=None,
+                         help="staleness bound for --check-model/--check k-atomic")
     explore.add_argument("--max-holds", type=int, default=2,
                          help="most links a schedule may hold")
     explore.add_argument("--max-schedules", type=int, default=2000,
@@ -664,6 +742,7 @@ def main(argv: list[str] | None = None) -> int:
         "list-backends": _cmd_list_backends,
         "list-faults": _cmd_list_faults,
         "list-scenarios": _cmd_list_scenarios,
+        "list-checkers": _cmd_list_checkers,
         "run": _cmd_run,
         "compare": _cmd_compare,
         "explore": _cmd_explore,

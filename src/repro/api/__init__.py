@@ -71,6 +71,7 @@ from repro.api.cluster import (
     run_trial,
     sweep,
 )
+from repro.consistency import CheckerSpec, checker_specs
 
 __all__ = [
     # protocol registry
@@ -98,6 +99,9 @@ __all__ = [
     # simulation engines
     "ENGINES",
     "available_engines",
+    # checker registry (repro.consistency)
+    "CheckerSpec",
+    "checker_specs",
     # builder + results
     "Cluster",
     "run_check",

@@ -78,6 +78,10 @@ class BackendRequest:
     spares: int | None = None
     #: State-transfer read quorum (``None``: the safe default ``S − t``).
     xfer_quorum: int | None = None
+    #: Consistency model served to clients — ``"atomic"`` (the default) or
+    #: ``"k-atomic(N)"``, the bounded-lag read view of the ``k-atomic``
+    #: backend (see :mod:`repro.consistency`).
+    consistency: str = "atomic"
 
 
 class SystemBackend(ABC):
@@ -219,6 +223,53 @@ class ShardedBackend(SystemBackend):
 
     def histories(self) -> dict[str, History]:
         return self.system.histories()
+
+
+class KAtomicBackend(SystemBackend):
+    """Bounded-stale reads: an atomic inner system behind a k-lag view.
+
+    Wraps the single or sharded backend (chosen by the key layout) and
+    serves its recorded histories through
+    :func:`repro.consistency.bounded.bounded_stale_view`: every complete
+    read is rewritten to the value ``bound − 1`` writes older than the one
+    the inner register returned — the observable behaviour of a replica
+    lagging the primary by a fixed window.  The view is a pure function of
+    the inner history, so rounds, traces, and transformed histories are
+    byte-identical across simulation engines and serial/parallel execution
+    exactly like the inner backend's.
+    """
+
+    def __init__(self, inner: SystemBackend, bound: int) -> None:
+        super().__init__(inner.system)
+        self.inner = inner
+        self.bound = bound
+        self.keys = inner.keys
+
+    @property
+    def label(self) -> str:
+        return self.inner.label
+
+    def schedule(self, plan: OperationPlan) -> None:
+        self.inner.schedule(plan)
+
+    def history(self) -> History:
+        from repro.consistency.bounded import bounded_stale_view
+
+        if len(self.keys) <= 1:
+            return bounded_stale_view(self.inner.history(), self.bound)
+        # Keyed layouts lag each key's register independently; the combined
+        # drill-down view merges the per-key transforms back in step order.
+        records = [r for h in self.histories().values() for r in h.records]
+        records.sort(key=lambda record: record.invocation_step)
+        return History(records)
+
+    def histories(self) -> dict[str, History]:
+        from repro.consistency.bounded import bounded_stale_view
+
+        return {
+            key: bounded_stale_view(history, self.bound)
+            for key, history in self.inner.histories().items()
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -451,6 +502,24 @@ def _build_reconfig(
     return ReconfigBackend(system)
 
 
+def _build_k_atomic(
+    protocol_spec: ProtocolSpec,
+    request: BackendRequest,
+    behaviors: Mapping[ProcessId, Any],
+    policy: DeliveryPolicy | None = None,
+) -> SystemBackend:
+    from repro.consistency.models import DEFAULT_K, consistency_bound
+
+    bound = (
+        # Backend selected directly without a model string: default lag window.
+        DEFAULT_K
+        if request.consistency == "atomic"
+        else consistency_bound(request.consistency)
+    )
+    inner_builder = _build_sharded if request.keys else _build_single
+    return KAtomicBackend(inner_builder(protocol_spec, request, behaviors, policy), bound)
+
+
 register_backend(BackendSpec(
     name="single",
     builder=_build_single,
@@ -478,4 +547,12 @@ register_backend(BackendSpec(
     builder=_build_reconfig,
     description="reconfigurable register: membership epochs, online state-transfer repair",
     aliases=("epoch",),
+))
+
+register_backend(BackendSpec(
+    name="k-atomic",
+    builder=_build_k_atomic,
+    description="bounded-stale reads: an atomic inner register behind a k-lag view",
+    keyed=True,
+    aliases=("bounded-stale",),
 ))

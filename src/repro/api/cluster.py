@@ -64,102 +64,26 @@ from repro.api.backends import (
 )
 from repro.api.faults import fault_spec
 from repro.api.registry import ProtocolSpec, available_protocols, get_spec
+from repro.consistency.models import (  # re-exported: the registry moved to repro.consistency
+    CHECKS,
+    CheckVerdict,
+    available_checks,
+    canonical_check_name,
+    parse_consistency,
+    run_check,
+)
+from repro.consistency.staleness import staleness_distribution
 from repro.errors import ConfigurationError
 from repro.faults.schedules import PlannedSchedulePolicy, PlannedSkip
 from repro.registers.base import resolve_reader
 from repro.sim.batched import resolve_engine
 from repro.sim.network import DeliveryPolicy
-from repro.spec.atomicity import check_atomicity
 from repro.spec.history import History
-from repro.spec.linearizability import is_linearizable
-from repro.spec.regularity import check_swmr_regularity
-from repro.spec.safety import check_swmr_safety
 from repro.sim.process import FaultBehavior
 from repro.storage import SpaceMeter, resolve_durability
 from repro.types import ProcessId, object_id, reader_ids, scoped_operation_serials
 from repro.workloads.generator import OperationPlan, WorkloadGenerator, normalize_keys
 from repro.workloads.scenarios import Scenario, get_scenario
-
-
-# --------------------------------------------------------------------- #
-# Check registry
-# --------------------------------------------------------------------- #
-
-
-@dataclass(frozen=True, slots=True)
-class CheckVerdict:
-    """Outcome of one consistency check on one trial's histories.
-
-    Single-register backends check one history and leave ``per_key`` unset.
-    Multi-key backends run the check on every key's history; ``per_key``
-    records each key's outcome, ``ok`` is their conjunction, and the
-    explanation names the failing keys.
-    """
-
-    check: str
-    ok: bool
-    explanation: str = ""
-    per_key: Mapping[str, bool] | None = None
-
-    def to_dict(self) -> dict[str, Any]:
-        payload = {"check": self.check, "ok": self.ok, "explanation": self.explanation}
-        if self.per_key is not None:
-            payload["per_key"] = dict(self.per_key)
-        return payload
-
-
-def _verdict_check(name: str, checker: Callable[[History], Any]) -> Callable[[History], CheckVerdict]:
-    def run(history: History) -> CheckVerdict:
-        verdict = checker(history)
-        return CheckVerdict(check=name, ok=verdict.ok, explanation=verdict.explanation or "")
-
-    return run
-
-
-def _linearizability_check(history: History) -> CheckVerdict:
-    ok = is_linearizable(history)
-    return CheckVerdict(
-        check="linearizability",
-        ok=ok,
-        explanation="" if ok else "no linearization of the recorded history exists",
-    )
-
-
-CHECKS: dict[str, Callable[[History], CheckVerdict]] = {
-    # check_atomicity dispatches on the writer population, so the same
-    # check name covers SWMR registers, MWMR systems, and sharded shards.
-    "atomicity": _verdict_check("atomicity", check_atomicity),
-    "regularity": _verdict_check("regularity", check_swmr_regularity),
-    "safety": _verdict_check("safety", check_swmr_safety),
-    "linearizability": _linearizability_check,
-}
-
-
-def available_checks() -> tuple[str, ...]:
-    """All consistency checks addressable from :meth:`Cluster.check`."""
-    return tuple(sorted(CHECKS))
-
-
-def run_check(name: str, histories: Mapping[str, History]) -> CheckVerdict:
-    """Run check ``name`` on every key's history and aggregate the verdicts.
-
-    Single-key backends get the plain verdict; multi-key backends get the
-    conjunction with per-key outcomes recorded in
-    :attr:`CheckVerdict.per_key` and failing keys named in the explanation.
-    """
-    if len(histories) == 1:
-        (history,) = histories.values()
-        return CHECKS[name](history)
-    per_key: dict[str, bool] = {}
-    failures: list[str] = []
-    for key in sorted(histories):
-        verdict = CHECKS[name](histories[key])
-        per_key[key] = verdict.ok
-        if not verdict.ok:
-            failures.append(f"[{key}] {verdict.explanation or 'check failed'}")
-    return CheckVerdict(
-        check=name, ok=not failures, explanation="; ".join(failures), per_key=per_key
-    )
 
 
 # --------------------------------------------------------------------- #
@@ -220,6 +144,10 @@ class TrialResult:
     #: empty elsewhere, and omitted from to_dict when empty so existing
     #: stored payloads stay byte-stable).
     repair_rounds: list[int] = field(default_factory=list)
+    #: Measured staleness distribution of the trial's served reads
+    #: (``None`` unless the trial ran under a non-atomic consistency
+    #: model) — plain data, serialized when present.
+    staleness: dict[str, Any] | None = None
 
     @property
     def worst_write(self) -> int:
@@ -255,6 +183,8 @@ class TrialResult:
             payload["storage"] = self.storage
         if self.repair_rounds:
             payload["repair_rounds"] = list(self.repair_rounds)
+        if self.staleness is not None:
+            payload["staleness"] = self.staleness
         return payload
 
 
@@ -276,6 +206,7 @@ class RunResult:
     n_writers: int = 1
     engine: str = "event"
     durability: str = "none"
+    consistency: str = "atomic"
 
     @property
     def worst_write(self) -> int:
@@ -350,6 +281,12 @@ class RunResult:
             # absent means the paper's crash-stop objects, keeping old
             # JSONL files comparable.
             payload["durability"] = self.durability
+        if self.consistency != "atomic":
+            # The consistency model changes what reads return, so stored
+            # rows only compare like-for-like within one model; absent
+            # means the paper's atomic semantics, keeping old JSONL files
+            # comparable.
+            payload["consistency"] = self.consistency
         return payload
 
     def row(self) -> dict[str, str]:
@@ -389,6 +326,8 @@ class RunResult:
             shape += f", engine={self.engine}"
         if self.durability != "none":
             shape += f", durability={self.durability}"
+        if self.consistency != "atomic":
+            shape += f", consistency={self.consistency}"
         title = (
             f"{self.protocol} [{self.semantics}] — t={self.t}, S={self.S}, "
             f"{self.n_readers} readers{shape}, faults: {self.faults.describe()}"
@@ -508,6 +447,7 @@ class TrialSpec:
     repairs: tuple[tuple[int, int], ...] = ()
     spares: int | None = None
     xfer_quorum: int | None = None
+    consistency: str = "atomic"
 
     def backend_request(self) -> BackendRequest:
         """The build parameters the backend needs, as plain data."""
@@ -524,6 +464,7 @@ class TrialSpec:
             repairs=self.repairs,
             spares=self.spares,
             xfer_quorum=self.xfer_quorum,
+            consistency=self.consistency,
         )
 
     def plans(self) -> list[OperationPlan]:
@@ -620,6 +561,12 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             # sequence, so it is byte-identical across engines and across
             # serial/parallel execution like everything else in the result.
             storage = SpaceMeter(backend.system.storage).measure()
+        staleness = None
+        if spec.consistency != "atomic":
+            # Measure the lag the served reads actually exhibited.  A pure
+            # function of the recorded histories, so it shares their
+            # engine/parallel byte-identity.
+            staleness = staleness_distribution(histories)
         return TrialResult(
             trial=spec.trial,
             seed=spec.recorded_seed,
@@ -631,6 +578,7 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             trace=backend.trace if spec.keep_trace else None,
             storage=storage,
             repair_rounds=list(report.repair_rounds),
+            staleness=staleness,
         )
 
 
@@ -740,6 +688,12 @@ class Cluster:
             (deterministic in-memory journals) or ``"dir"`` (append-only
             log files; see :mod:`repro.storage`).  Required for the
             crash-recover fault family.
+        consistency: consistency model the cluster serves — ``"atomic"``
+            (the default) or ``"k-atomic(N)"`` (bounded-stale reads; see
+            :mod:`repro.consistency`).  A non-atomic model routes
+            single/sharded layouts onto the ``k-atomic`` backend
+            automatically; conversely ``backend="k-atomic"`` without a
+            model defaults to ``"k-atomic(2)"``.
         protocol_kwargs: forwarded to the protocol factory per trial.
     """
 
@@ -755,6 +709,7 @@ class Cluster:
         n_writers: int | None = None,
         engine: str = "event",
         durability: str = "none",
+        consistency: str = "atomic",
         **protocol_kwargs: Any,
     ) -> None:
         self._spec = protocol if isinstance(protocol, ProtocolSpec) else get_spec(protocol)
@@ -784,7 +739,15 @@ class Cluster:
         self._repairs: tuple[tuple[int, int], ...] = ()
         self._spares: int | None = None
         self._xfer_quorum: int | None = None
+        self._consistency = parse_consistency(consistency)
+        if backend is None and self._consistency != "atomic":
+            # A bound implies the bounded-stale wrapper whenever the
+            # protocol's own backend is one it can wrap; anything else
+            # (multi-writer stacks, reconfig) fails in _apply_consistency.
+            if self._spec.backend in ("single", "sharded"):
+                backend = "k-atomic"
         self._configure_backend(backend, keys, n_writers)
+        self._apply_consistency()
 
     @staticmethod
     def _validate_engine(engine: str) -> str:
@@ -829,6 +792,30 @@ class Cluster:
                 raise ConfigurationError("need at least one writer")
             self._n_writers = n_writers
 
+    def _apply_consistency(self) -> None:
+        """Reconcile the consistency model with the resolved backend.
+
+        A non-atomic model needs the ``k-atomic`` backend: single/sharded
+        layouts route onto it (the wrapper builds the same inner system),
+        other backends reject the combination.  The ``k-atomic`` backend
+        without a model adopts the default bound, so results always name
+        the model they were served under.
+        """
+        name = self.backend_spec.name
+        if self._consistency == "atomic":
+            if name == "k-atomic":
+                self._consistency = parse_consistency("k-atomic")
+            return
+        if name in ("single", "sharded"):
+            self._backend = "k-atomic"
+            return
+        if name != "k-atomic":
+            raise ConfigurationError(
+                f"consistency {self._consistency!r} needs the k-atomic backend "
+                f"(or a single/sharded layout it can wrap); backend {name!r} "
+                "serves atomic reads only"
+            )
+
     @property
     def backend_spec(self) -> BackendSpec:
         """The backend registry entry this cluster resolves to."""
@@ -838,7 +825,12 @@ class Cluster:
         """The key layout handed to the backend ('' tuple: single register)."""
         if not self.backend_spec.keyed:
             return ()
-        return self._keys if self._keys is not None else DEFAULT_SHARD_KEYS
+        if self._keys is not None:
+            return self._keys
+        # The k-atomic wrapper accepts keys but defaults to one register
+        # (its inner system is the single backend unless keys are given);
+        # only the sharded backend defaults to a multi-key layout.
+        return DEFAULT_SHARD_KEYS if self.backend_spec.name == "sharded" else ()
 
     def _writer_count(self) -> int:
         """Writer family size (1 for single-writer backends)."""
@@ -919,6 +911,23 @@ class Cluster:
         """
         clone = self._clone()
         clone._durability = resolve_durability(durability)
+        return clone
+
+    def with_consistency(self, consistency: str) -> "Cluster":
+        """Select the consistency model the cluster serves.
+
+        ``"k-atomic(N)"`` (or bare ``"k-atomic"``, bound
+        :data:`~repro.consistency.models.DEFAULT_K`) routes single/sharded
+        layouts onto the ``k-atomic`` backend, whose reads lag at most
+        ``N − 1`` completed writes behind the freshest value; trial
+        results then carry the measured staleness distribution.
+        ``"atomic"`` on a cluster already built on the ``k-atomic``
+        backend keeps that backend's default bound — drop the backend via
+        ``with_backend("single")`` first to serve atomic reads again.
+        """
+        clone = self._clone()
+        clone._consistency = parse_consistency(consistency)
+        clone._apply_consistency()
         return clone
 
     def with_schedule(self, *steps: PlannedSkip | tuple) -> "Cluster":
@@ -1098,15 +1107,23 @@ class Cluster:
         clone._explicit_plans = tuple(plans)
         return clone
 
-    def check(self, *names: str) -> "Cluster":
-        """Run the named consistency checks on every trial's history."""
-        for name in names:
-            if name not in CHECKS:
-                raise ConfigurationError(
-                    f"unknown check {name!r}; available: {', '.join(available_checks())}"
-                )
+    def check(self, *names: str, k: int | None = None) -> "Cluster":
+        """Run the named consistency checks on every trial's history.
+
+        Names resolve through the checker registry
+        (:mod:`repro.consistency.models`): canonical names
+        (``"atomicity"``), model shorthands (``"atomic"``), and the
+        parametric family — ``check("k-atomic", k=2)`` or the inline
+        ``check("k-atomic(2)")`` both record a ``k-atomic(2)`` verdict.
+        """
+        canonical = tuple(canonical_check_name(name, k=k) for name in names)
+        if k is not None and not any(name.startswith("k-atomic") for name in canonical):
+            raise ConfigurationError(
+                "k= only parameterizes the k-atomic check; "
+                f"none of {list(names)} takes a bound"
+            )
         clone = self._clone()
-        clone._checks = self._checks + names
+        clone._checks = self._checks + canonical
         return clone
 
     # ------------------------------------------------------------------ #
@@ -1167,6 +1184,7 @@ class Cluster:
             repairs=self._repairs,
             spares=self._spares,
             xfer_quorum=self._xfer_quorum,
+            consistency=self._consistency,
         )
 
     def _require_scenario_durability(self) -> None:
@@ -1250,6 +1268,7 @@ class Cluster:
                 repairs=self._repairs,
                 spares=self._spares,
                 xfer_quorum=self._xfer_quorum,
+                consistency=self._consistency,
             )
             for index in range(trials)
         ]
@@ -1282,6 +1301,7 @@ class Cluster:
             n_writers=self._writer_count(),
             engine=self._engine,
             durability=self._durability,
+            consistency=self._consistency,
         )
         return result, self._trial_specs(trials, seed, keep_history, keep_trace)
 
@@ -1379,6 +1399,7 @@ class Cluster:
             repairs=self._repairs,
             spares=self._spares,
             xfer_quorum=self._xfer_quorum,
+            consistency=self._consistency,
         )
         return explore_probe(
             probe,
@@ -1414,6 +1435,7 @@ def sweep(
     key_skew: float = 0.0,
     engine: str = "event",
     durability: str = "none",
+    consistency: str = "atomic",
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> SweepResult:
@@ -1441,7 +1463,8 @@ def sweep(
             cluster = (
                 Cluster(name, t=t, n_readers=n_readers,
                         backend=backend, keys=keys, n_writers=n_writers,
-                        engine=engine, durability=durability)
+                        engine=engine, durability=durability,
+                        consistency=consistency)
                 .with_scenario(scenario_name)
                 .with_workload(spacing=spacing, operations=operations, key_skew=key_skew)
                 .check(*checks)

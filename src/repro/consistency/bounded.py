@@ -1,0 +1,91 @@
+"""The bounded-lag read view: an atomic history served through a k-window.
+
+:func:`bounded_stale_view` is the semantic core of the ``k-atomic`` backend
+(:mod:`repro.api.backends`): it takes the history an atomic inner system
+recorded and rewrites every complete read to the value ``bound − 1`` writes
+older than the one it returned — the observable behaviour of a replica that
+lags the primary by a fixed window.  Reads early in the run clamp to the
+initial ⊥ (write index 0), so the staleness each read serves never exceeds
+``bound − 1`` completed writes and the transformed history is
+``bound``-atomic by construction whenever the inner history was atomic.
+
+The transformation is a pure function of the input history — no clocks, no
+randomness — so a backend built on it is byte-identical across simulation
+engines and serial/parallel execution for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SpecificationError
+from repro.spec.history import History, OperationRecord
+
+
+def _write_index_map(values: list[Any]) -> dict[Any, int] | None:
+    """value → its first write index (``BOTTOM`` → 0), or None if unhashable."""
+    try:
+        index_of: dict[Any, int] = {}
+        for j, value in enumerate(values):
+            index_of.setdefault(value, j)
+        return index_of
+    except TypeError:
+        return None
+
+
+def _index_of(value: Any, values: list[Any], index_of: dict[Any, int] | None) -> int | None:
+    # The dict is only a prefilter; membership itself is defined by ``==``
+    # (the convention of every spec checker), so a miss falls back to a scan.
+    if index_of is not None:
+        try:
+            found = index_of.get(value)
+        except TypeError:
+            found = None
+        if found is not None:
+            return found
+    for j, candidate in enumerate(values):
+        if candidate == value:
+            return j
+    return None
+
+
+def bounded_stale_view(history: History, bound: int) -> History:
+    """``history`` as served by a replica lagging ``bound − 1`` writes behind.
+
+    Each complete read whose value matches write index ``j`` is rewritten
+    to ``values[max(0, j − (bound − 1))]``.  Reads whose value matches no
+    write (an already-inconsistent inner history) and incomplete reads pass
+    through unchanged, as do all writes.  ``bound = 1`` is the identity —
+    an atomic replica lags by nothing.
+    """
+    if bound < 1:
+        raise SpecificationError(f"staleness bound must be >= 1, got {bound}")
+    if bound == 1:
+        return history
+    values = history.written_values()
+    index_of = _write_index_map(values)
+    records: list[OperationRecord] = []
+    for record in history.records:
+        if record.kind != "read" or not record.complete:
+            records.append(record)
+            continue
+        j = _index_of(record.value, values, index_of)
+        if j is None:
+            records.append(record)
+            continue
+        lagged = j - (bound - 1)
+        if lagged < 0:
+            lagged = 0
+        records.append(
+            OperationRecord(
+                op_id=record.op_id,
+                kind=record.kind,
+                client=record.client,
+                invoked_at=record.invoked_at,
+                invocation_step=record.invocation_step,
+                value=values[lagged],  # values[0] is the initial ⊥
+                responded_at=record.responded_at,
+                response_step=record.response_step,
+            )
+        )
+    return History(records)

@@ -115,6 +115,11 @@ class ScheduleProbe:
     repairs: tuple[tuple[int, int], ...] = ()
     spares: int | None = None
     xfer_quorum: int | None = None
+    #: Consistency model the probed backend serves.  A ``k-atomic(N)``
+    #: probe runs the bounded-lag read view, so the explorer can certify
+    #: or refute staleness-bound claims schedule by schedule — checks like
+    #: ``k-atomic(1)`` dispatch through the same registry as any other.
+    consistency: str = "atomic"
 
     def backend_request(self) -> BackendRequest:
         return BackendRequest(
@@ -130,6 +135,7 @@ class ScheduleProbe:
             repairs=self.repairs,
             spares=self.spares,
             xfer_quorum=self.xfer_quorum,
+            consistency=self.consistency,
         )
 
     def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":

@@ -180,6 +180,7 @@ class ScheduleWitness:
             "repairs": [[member, at] for member, at in probe.repairs],
             "spares": probe.spares,
             "xfer_quorum": probe.xfer_quorum,
+            "consistency": probe.consistency,
             "decisions": [link.to_json() for link in self.decisions],
             "discovered": [link.to_json() for link in self.discovered],
             "failures": [list(pair) for pair in self.failures],
@@ -251,6 +252,9 @@ class ScheduleWitness:
             ),
             spares=data.get("spares"),
             xfer_quorum=data.get("xfer_quorum"),
+            # Absent means the atomic reads every pre-spectrum witness was
+            # recorded against.
+            consistency=data.get("consistency", "atomic"),
         )
         return cls(
             probe=probe,

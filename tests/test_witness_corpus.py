@@ -87,6 +87,27 @@ def test_stale_rejoin_witness_shape():
     assert witness.failures and witness.failures[0][0] == "atomicity"
 
 
+def test_k1_violation_witness_shape():
+    """The k1-violation witness: bounded staleness is visible, and bounded.
+
+    A ``k-atomic(2)`` backend serves a read that overlaps the second write;
+    with no holds the lagged view returns the previous value and 1-atomicity
+    holds.  Holding the write's two quorum links starves the inner read of
+    the new value, so the lagged view falls back to ⊥ while the first write
+    has completed — a 1-atomicity violation.  The same configuration is
+    certified 2-atomic over the identical bounded schedule space
+    (tests/test_consistency_backend.py), so the witness pins the spectrum
+    gap between k=1 and k=2, not a backend bug.
+    """
+    witness = ScheduleWitness.load(WITNESS_DIR / "k1_violation.json")
+    assert witness.probe.protocol == "abd"
+    assert witness.probe.backend == "k-atomic"
+    assert witness.probe.consistency == "k-atomic(2)"
+    assert len(witness.decisions) == 2
+    assert witness.failures and witness.failures[0][0] == "k-atomic(1)"
+    assert "beyond the k=1 bound" in witness.failures[0][1]
+
+
 def test_underquorum_transfer_witness_shape():
     """The under-quorum repair witness: state transfer below S−t loses writes.
 
