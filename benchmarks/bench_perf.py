@@ -43,7 +43,14 @@ trajectory to beat.  The meters:
   single-writer histories (the run *asserts* verdict-for-verdict k = 1
   parity), and the bounded-stale backend's measured staleness by
   k ∈ {1, 2, 4} (the run *asserts* ``max ≤ k − 1`` and byte-identical
-  event/batched payloads on every bound).
+  event/batched payloads on every bound);
+* **obs** — the observability axis: ops/sec with ``observe`` off vs on
+  (the on/off ratio is *recorded* for the trajectory, never asserted —
+  timing is noise on shared runners), with *asserted* determinism gates:
+  a disabled run's ``to_dict()`` is byte-identical to a never-observed
+  run's, observing changes no verdict (the observed payload minus its
+  ``events``/``elapsed_s`` keys equals the disabled payload exactly), and
+  span/metric dumps are byte-identical across both simulation engines.
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -88,7 +95,7 @@ from repro.types import (
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -906,6 +913,107 @@ def bench_consistency(quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Observability axis: disabled-mode cost + determinism gates
+# --------------------------------------------------------------------- #
+
+
+def bench_obs(quick: bool) -> dict:
+    """The observe axis: disabled-mode cost and derivation determinism.
+
+    Observability is derived *post hoc* from bookkeeping the engines
+    already keep, so the disabled path must be the PR-8 path — same
+    bytes out, same speed.  The timing cells run the identical seeded
+    workload with ``observe`` off and on (minimum over repetitions, like
+    the simulator meter) and *record* the on/off ratio for the perf
+    trajectory; the ratio is never asserted, because timing is noise on
+    shared runners.  What the run *asserts* is determinism: a disabled
+    run's ``RunResult.to_dict()`` is byte-identical to a never-observed
+    run's and carries no observability keys; enabling ``observe`` changes
+    no verdict (the observed payload minus its ``events``/``elapsed_s``
+    keys equals the disabled payload exactly); and the span/metric dumps
+    are byte-identical across the event and batched engines — so CI
+    fails on a derivation or off-state regression, never on timing.
+    """
+    operations = 20 if quick else 80
+    trials = 2 if quick else 4
+    repetitions = 2 if quick else 3
+
+    def cluster(observe: bool, engine: str = "event") -> Cluster:
+        return (
+            Cluster("abd", t=1, n_readers=3, engine=engine, observe=observe)
+            .with_workload(operations=operations, spacing=30)
+            .check("atomicity")
+        )
+
+    def timed(observe: bool) -> tuple:
+        best, result = None, None
+        for _ in range(repetitions):
+            started = time.perf_counter()
+            result = cluster(observe).run(trials=trials, seed=7, keep_history=False)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        return result, best
+
+    disabled_result, disabled_seconds = timed(False)
+    enabled_result, enabled_seconds = timed(True)
+    assert disabled_result.ok and enabled_result.ok
+
+    # Off-state gate: a disabled run is byte-identical to a run that never
+    # had the observe axis threaded at all, with no observability keys.
+    baseline = cluster(False).run(trials=trials, seed=7, keep_history=False)
+    disabled_payload = json.dumps(disabled_result.to_dict(), sort_keys=True)
+    assert disabled_payload == json.dumps(baseline.to_dict(), sort_keys=True), (
+        "disabled-observe run diverged from an unobserved run"
+    )
+    assert '"events"' not in disabled_payload and '"elapsed_s"' not in disabled_payload
+
+    # Verdict gate: observing must not change what the run computes.
+    observed_payload = enabled_result.to_dict()
+    for trial in observed_payload["trials"]:
+        trial.pop("events", None)
+        trial.pop("elapsed_s", None)
+    assert json.dumps(observed_payload, sort_keys=True) == disabled_payload, (
+        "enabling observe changed the run's deterministic payload"
+    )
+
+    # Derivation gate: span/metric dumps are part of the engine-equivalence
+    # contract — byte-identical across event and batched execution.
+    dumps = {}
+    for engine in ENGINES:
+        result = cluster(True, engine).run(trials=trials, seed=7, keep_history=False)
+        dumps[engine] = json.dumps(
+            [[t.obs["spans"], t.obs["metrics"], t.obs["events"]]
+             for t in result.trials],
+            sort_keys=True,
+        )
+    assert dumps["batched"] == dumps["event"], (
+        "observability dumps diverged between the event and batched engines"
+    )
+
+    total_ops = trials * operations
+    return {
+        "operations_per_run": operations,
+        "trials": trials,
+        "timing_repetitions": repetitions,
+        "disabled": {
+            "seconds": round(disabled_seconds, 4),
+            "ops_per_sec": round(total_ops / disabled_seconds, 1),
+        },
+        "enabled": {
+            "seconds": round(enabled_seconds, 4),
+            "ops_per_sec": round(total_ops / enabled_seconds, 1),
+            "spans": sum(len(t.obs["spans"]) for t in enabled_result.trials),
+            "metrics": sum(len(t.obs["metrics"]) for t in enabled_result.trials),
+        },
+        # Recorded for the trajectory, never asserted: timing is noise on CI.
+        "enabled_relative": round(enabled_seconds / disabled_seconds, 2),
+        "off_state_identical": True,        # asserted above
+        "verdicts_unchanged": True,         # asserted above
+        "identical_dumps_across_engines": True,  # asserted above
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -925,6 +1033,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "storage": bench_storage(quick),
         "reconfig": bench_reconfig(quick),
         "consistency": bench_consistency(quick),
+        "obs": bench_obs(quick),
     }
     return report
 
@@ -1001,6 +1110,12 @@ def main(argv: list[str] | None = None) -> int:
           f"({spectrum_checker['relative']}x, k=1 verdicts equal); "
           f"staleness p99 by bound [{staleness_p99}] "
           f"(max <= k-1 and engine parity asserted)")
+    obs = report["obs"]
+    print(f"obs       : {obs['disabled']['ops_per_sec']:>10,} ops/sec observe off, "
+          f"{obs['enabled']['ops_per_sec']:,} on "
+          f"({obs['enabled_relative']}x recorded, never asserted; "
+          f"{obs['enabled']['spans']} span(s) derived, off-state bytes and "
+          f"cross-engine dump parity asserted)")
     print(f"[saved to {args.output}]")
     return 0
 

@@ -46,9 +46,16 @@ Commands:
 * ``replay`` WITNESS.json — re-execute a saved schedule witness and
   re-check it; exit 0 iff the recorded violation reproduces byte-identically
   (same failed checks, same wire-trace fingerprint).
+* ``stats`` SPANS.jsonl — summarize a span dump written by
+  ``run --spans``: per-trial operation counts, worst rounds, quorum-wait
+  stats, adversary interference, recoveries and journal syncs.
 
 ``run --trace PATH`` additionally dumps every trial's message trace as
-JSONL (one ``TraceEvent`` per line) for offline inspection.
+JSONL (one ``TraceEvent`` per line) for offline inspection.  The
+observability flags — ``--spans PATH`` (span records as JSONL),
+``--metrics PATH`` (metrics snapshot as JSONL), ``--timeline PATH``
+(Perfetto-loadable Chrome trace JSON) and ``--obs`` (terminal summary
+table) — each enable the :mod:`repro.obs` layer for the run.
 
 Everything runs in seconds on a laptop; nothing touches the network.
 """
@@ -344,6 +351,13 @@ def _cluster_from_args(args: argparse.Namespace):
         raise ConfigurationError(
             "--spares/--xfer-quorum have no effect without --repair"
         )
+    if (
+        getattr(args, "obs", False)
+        or getattr(args, "spans", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "timeline", None)
+    ):
+        cluster = cluster.with_observe()
     return cluster.with_workload(reads=args.reads, spacing=args.spacing,
                                  operations=args.ops,
                                  key_skew=getattr(args, "key_skew", None))
@@ -374,6 +388,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for trial in result.trials:
                 events += dump_trace_jsonl(trial.trace, sink, extra={"trial": trial.trial})
         print(f"[wrote {events} trace events to {args.trace}]")
+    if args.spans:
+        from repro.obs import dump_spans_jsonl
+
+        lines = 0
+        with open(args.spans, "w", encoding="utf-8") as sink:
+            for trial in result.trials:
+                lines += dump_spans_jsonl(
+                    trial.obs["spans"], sink, extra={"trial": trial.trial}
+                )
+        print(f"[wrote {lines} span records to {args.spans}]")
+    if args.metrics:
+        from repro.obs import dump_metrics_jsonl
+
+        lines = 0
+        with open(args.metrics, "w", encoding="utf-8") as sink:
+            for trial in result.trials:
+                lines += dump_metrics_jsonl(
+                    trial.obs["metrics"], sink, extra={"trial": trial.trial}
+                )
+        print(f"[wrote {lines} metric records to {args.metrics}]")
+    if args.timeline:
+        from repro.obs import write_chrome_trace
+
+        with open(args.timeline, "w", encoding="utf-8") as sink:
+            events = write_chrome_trace(
+                [
+                    (
+                        trial.trial,
+                        f"trial {trial.trial} — {result.protocol} @ {result.scenario}",
+                        trial.obs["spans"],
+                    )
+                    for trial in result.trials
+                ],
+                sink,
+            )
+        print(f"[wrote a {events}-event timeline to {args.timeline}; "
+              "open it at https://ui.perfetto.dev]")
+    if args.obs:
+        from repro.obs import summarize_spans
+
+        print(summarize_spans([
+            dict(span, trial=trial.trial)
+            for trial in result.trials
+            for span in trial.obs["spans"]
+        ]))
     print(result.render())
     if not result.ok:
         for trial, verdict in result.failures():
@@ -382,6 +441,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{result.incomplete} operations did not complete")
         return 1
     print(f"\nall {len(result.trials)} trials complete; checks passed: {', '.join(checks)}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs import summarize_spans
+
+    records = []
+    try:
+        source = open(args.spans_file, encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot read {args.spans_file}: {error}") from None
+    with source:
+        for line_no, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{args.spans_file}:{line_no}: not valid JSON ({error})"
+                ) from None
+    print(summarize_spans(records))
     return 0
 
 
@@ -641,6 +726,18 @@ def main(argv: list[str] | None = None) -> int:
                      help="append the structured RunResult as one JSON line to PATH")
     run.add_argument("--trace", default=None, metavar="PATH",
                      help="dump every trial's message trace as JSONL to PATH")
+    run.add_argument("--spans", default=None, metavar="PATH",
+                     help="write derived span records as JSONL to PATH "
+                          "(enables observability)")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write per-trial metrics snapshots as JSONL to PATH "
+                          "(enables observability)")
+    run.add_argument("--timeline", default=None, metavar="PATH",
+                     help="write a Perfetto-loadable Chrome trace timeline to "
+                          "PATH (enables observability)")
+    run.add_argument("--obs", action="store_true",
+                     help="print a per-trial span summary table "
+                          "(enables observability)")
 
     explore = sub.add_parser(
         "explore",
@@ -731,6 +828,11 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--mean-tolerance", type=float, default=0.0,
                          help="relative slack on mean-round regressions (e.g. 0.05)")
 
+    stats = sub.add_parser(
+        "stats", help="summarize a span dump written by run --spans"
+    )
+    stats.add_argument("spans_file", help="spans .jsonl written by run --spans")
+
     args = parser.parse_args(argv)
     handlers = {
         "summary": _cmd_summary,
@@ -747,6 +849,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "explore": _cmd_explore,
         "replay": _cmd_replay,
+        "stats": _cmd_stats,
     }
     try:
         return handlers[args.command](args)

@@ -10,6 +10,7 @@ round count.
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -31,6 +32,11 @@ class LatencyReport:
     #: always exactly 2 per completed repair — transfer read + install.
     repair_rounds: list[int] = field(default_factory=list)
     incomplete: int = 0
+    #: Simulator events the run executed and the wall-clock seconds it
+    #: took (backend path only; the event count is deterministic, the
+    #: duration is not and never enters byte-compared dumps).
+    events: int = 0
+    elapsed_s: float = 0.0
 
     @property
     def worst_write(self) -> int:
@@ -110,7 +116,11 @@ def measure_backend_latency(
     """
     for plan in plans:
         backend.schedule(plan)
-    backend.run()
+    started = time.perf_counter()
+    events = backend.run()
+    elapsed = time.perf_counter() - started
     report = LatencyReport(protocol=backend.label, scenario=scenario)
+    report.events = events
+    report.elapsed_s = elapsed
     _account_rounds(backend.simulator, backend.trace, report, verify_against_wire)
     return report

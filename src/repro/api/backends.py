@@ -82,6 +82,12 @@ class BackendRequest:
     #: ``"k-atomic(N)"``, the bounded-lag read view of the ``k-atomic``
     #: backend (see :mod:`repro.consistency`).
     consistency: str = "atomic"
+    #: Observability: when set, :meth:`BackendSpec.build` arms the virtual
+    #: clock on every fault behaviour and stable store so recovery windows
+    #: and journal syncs are logged for span derivation (see
+    #: :mod:`repro.obs`).  Off by default — the off-state adds nothing to
+    #: the hot path and keeps structured results byte-identical.
+    observe: bool = False
 
 
 class SystemBackend(ABC):
@@ -308,7 +314,10 @@ class BackendSpec:
         policy: DeliveryPolicy | None = None,
     ) -> SystemBackend:
         """A fresh backend system for one trial (systems are stateful)."""
-        return self.builder(protocol_spec, request, behaviors, policy)
+        backend = self.builder(protocol_spec, request, behaviors, policy)
+        if request.observe:
+            _arm_observability(backend)
+        return backend
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly metadata (the builder callable omitted)."""
@@ -319,6 +328,29 @@ class BackendSpec:
             "multi_writer": self.multi_writer,
             "aliases": list(self.aliases),
         }
+
+
+def _arm_observability(backend: SystemBackend) -> None:
+    """Arm the virtual clock on every behaviour and store of ``backend``.
+
+    Both engines keep ``queue.now`` current while dispatching (the batched
+    engine pins it per delivery wave), so the same closure reads identical
+    virtual times on either — the byte-parity the span layer relies on.
+    """
+    simulator = backend.simulator
+    queue = simulator.queue
+
+    def clock(_queue: Any = queue) -> int:
+        return _queue.now
+
+    for server in simulator.objects.values():
+        behavior = server.behavior
+        if behavior is not None:
+            behavior.clock = clock
+            behavior.phase_log = []
+        store = getattr(server.handler, "store", None)
+        if store is not None:
+            store.clock = clock
 
 
 _BACKENDS: dict[str, BackendSpec] = {}

@@ -72,7 +72,7 @@ from repro.consistency.models import (  # re-exported: the registry moved to rep
     parse_consistency,
     run_check,
 )
-from repro.consistency.staleness import staleness_distribution
+from repro.consistency.staleness import read_staleness, staleness_distribution
 from repro.errors import ConfigurationError
 from repro.faults.schedules import PlannedSchedulePolicy, PlannedSkip
 from repro.registers.base import resolve_reader
@@ -148,6 +148,11 @@ class TrialResult:
     #: (``None`` unless the trial ran under a non-atomic consistency
     #: model) — plain data, serialized when present.
     staleness: dict[str, Any] | None = None
+    #: Observability payload (``None`` unless the trial ran with
+    #: ``observe=True``): ``spans``/``metrics`` are deterministic plain
+    #: data (see :mod:`repro.obs`), ``events``/``elapsed_s`` surface the
+    #: executed-event count and wall-clock duration in to_dict.
+    obs: dict[str, Any] | None = None
 
     @property
     def worst_write(self) -> int:
@@ -185,6 +190,12 @@ class TrialResult:
             payload["repair_rounds"] = list(self.repair_rounds)
         if self.staleness is not None:
             payload["staleness"] = self.staleness
+        if self.obs is not None:
+            # New keys, only present for observed runs: old JSONL files
+            # (and every unobserved run) keep the exact pre-observability
+            # payload, and `repro compare` ignores unknown trial keys.
+            payload["events"] = self.obs["events"]
+            payload["elapsed_s"] = self.obs["elapsed_s"]
         return payload
 
 
@@ -448,6 +459,7 @@ class TrialSpec:
     spares: int | None = None
     xfer_quorum: int | None = None
     consistency: str = "atomic"
+    observe: bool = False
 
     def backend_request(self) -> BackendRequest:
         """The build parameters the backend needs, as plain data."""
@@ -465,6 +477,7 @@ class TrialSpec:
             spares=self.spares,
             xfer_quorum=self.xfer_quorum,
             consistency=self.consistency,
+            observe=self.observe,
         )
 
     def plans(self) -> list[OperationPlan]:
@@ -567,6 +580,31 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             # function of the recorded histories, so it shares their
             # engine/parallel byte-identity.
             staleness = staleness_distribution(histories)
+        obs = None
+        if spec.observe:
+            # Derive spans and metrics from the engine's bookkeeping, after
+            # the run.  Everything except elapsed_s is a pure function of
+            # the spec — byte-identical across engines and serial/parallel
+            # execution — and elapsed_s never enters byte-compared dumps.
+            from repro.obs import derive_metrics, derive_spans
+
+            spans = derive_spans(backend.simulator, backend.trace)
+            lag_samples: list[int] = []
+            if spec.consistency != "atomic":
+                lag_samples = [
+                    s for s in read_staleness(backend.history()) if s is not None
+                ]
+            obs = {
+                "spans": spans,
+                "metrics": derive_metrics(
+                    spans,
+                    backend.trace,
+                    events=report.events,
+                    staleness=lag_samples,
+                ),
+                "events": report.events,
+                "elapsed_s": round(report.elapsed_s, 6),
+            }
         return TrialResult(
             trial=spec.trial,
             seed=spec.recorded_seed,
@@ -579,6 +617,7 @@ def _run_trial_with(spec: TrialSpec, protocol_spec: ProtocolSpec) -> TrialResult
             storage=storage,
             repair_rounds=list(report.repair_rounds),
             staleness=staleness,
+            obs=obs,
         )
 
 
@@ -694,6 +733,10 @@ class Cluster:
             single/sharded layouts onto the ``k-atomic`` backend
             automatically; conversely ``backend="k-atomic"`` without a
             model defaults to ``"k-atomic(2)"``.
+        observe: enable the observability layer (:mod:`repro.obs`): every
+            trial carries derived span/metric records plus its executed
+            event count and duration.  Off by default; the off-state
+            produces byte-identical results to today.
         protocol_kwargs: forwarded to the protocol factory per trial.
     """
 
@@ -710,6 +753,7 @@ class Cluster:
         engine: str = "event",
         durability: str = "none",
         consistency: str = "atomic",
+        observe: bool = False,
         **protocol_kwargs: Any,
     ) -> None:
         self._spec = protocol if isinstance(protocol, ProtocolSpec) else get_spec(protocol)
@@ -739,6 +783,7 @@ class Cluster:
         self._repairs: tuple[tuple[int, int], ...] = ()
         self._spares: int | None = None
         self._xfer_quorum: int | None = None
+        self._observe = bool(observe)
         self._consistency = parse_consistency(consistency)
         if backend is None and self._consistency != "atomic":
             # A bound implies the bounded-stale wrapper whenever the
@@ -928,6 +973,20 @@ class Cluster:
         clone = self._clone()
         clone._consistency = parse_consistency(consistency)
         clone._apply_consistency()
+        return clone
+
+    def with_observe(self, observe: bool = True) -> "Cluster":
+        """Enable the observability layer (see :mod:`repro.obs`).
+
+        Observed trials carry a per-trial ``obs`` payload: span and metric
+        records derived from the engine's bookkeeping (byte-identical
+        across engines and serial/parallel execution), plus the executed
+        event count and wall-clock duration surfaced in
+        :meth:`TrialResult.to_dict`.  Off (the default), results are
+        byte-identical to an unobserved cluster's.
+        """
+        clone = self._clone()
+        clone._observe = bool(observe)
         return clone
 
     def with_schedule(self, *steps: PlannedSkip | tuple) -> "Cluster":
@@ -1185,6 +1244,7 @@ class Cluster:
             spares=self._spares,
             xfer_quorum=self._xfer_quorum,
             consistency=self._consistency,
+            observe=self._observe,
         )
 
     def _require_scenario_durability(self) -> None:
@@ -1269,6 +1329,7 @@ class Cluster:
                 spares=self._spares,
                 xfer_quorum=self._xfer_quorum,
                 consistency=self._consistency,
+                observe=self._observe,
             )
             for index in range(trials)
         ]
@@ -1400,6 +1461,7 @@ class Cluster:
             spares=self._spares,
             xfer_quorum=self._xfer_quorum,
             consistency=self._consistency,
+            observe=self._observe,
         )
         return explore_probe(
             probe,
@@ -1436,6 +1498,7 @@ def sweep(
     engine: str = "event",
     durability: str = "none",
     consistency: str = "atomic",
+    observe: bool = False,
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> SweepResult:
@@ -1464,7 +1527,7 @@ def sweep(
                 Cluster(name, t=t, n_readers=n_readers,
                         backend=backend, keys=keys, n_writers=n_writers,
                         engine=engine, durability=durability,
-                        consistency=consistency)
+                        consistency=consistency, observe=observe)
                 .with_scenario(scenario_name)
                 .with_workload(spacing=spacing, operations=operations, key_skew=key_skew)
                 .check(*checks)

@@ -120,6 +120,10 @@ class ScheduleProbe:
     #: or refute staleness-bound claims schedule by schedule — checks like
     #: ``k-atomic(1)`` dispatch through the same registry as any other.
     consistency: str = "atomic"
+    #: Observability: probed systems arm the span-layer clocks (see
+    #: :mod:`repro.obs`).  Purely additive bookkeeping, so outcomes and
+    #: trace fingerprints are unchanged either way.
+    observe: bool = False
 
     def backend_request(self) -> BackendRequest:
         return BackendRequest(
@@ -136,6 +140,7 @@ class ScheduleProbe:
             spares=self.spares,
             xfer_quorum=self.xfer_quorum,
             consistency=self.consistency,
+            observe=self.observe,
         )
 
     def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":

@@ -181,6 +181,7 @@ class ScheduleWitness:
             "spares": probe.spares,
             "xfer_quorum": probe.xfer_quorum,
             "consistency": probe.consistency,
+            "observe": probe.observe,
             "decisions": [link.to_json() for link in self.decisions],
             "discovered": [link.to_json() for link in self.discovered],
             "failures": [list(pair) for pair in self.failures],
@@ -255,6 +256,8 @@ class ScheduleWitness:
             # Absent means the atomic reads every pre-spectrum witness was
             # recorded against.
             consistency=data.get("consistency", "atomic"),
+            # Absent means unobserved — the only mode pre-obs witnesses had.
+            observe=data.get("observe", False),
         )
         return cls(
             probe=probe,

@@ -80,6 +80,7 @@ class PermanentCrash(FaultBehavior):
                 store.frozen = True
                 store.crash()
             self.phase = "down"
+            self.log_phase("down")
         return False
 
     def reply(
@@ -159,6 +160,7 @@ class Flap(CrashRecoverAt):
             self.crashes += 1
             self.phase = "down"
             self.dark_seen = 0
+            self.log_phase("down")
         if self.phase == "down":
             self.dark_seen += 1
             if self.dark_seen <= self.rejoin_after:
@@ -168,6 +170,7 @@ class Flap(CrashRecoverAt):
             self._store(server).frozen = False
             self.phase = "recovered"
             self.up_seen = 0
+            self.log_phase("recovered")
         return True
 
     def describe(self) -> str:

@@ -109,6 +109,7 @@ class CrashRecoverAt(FaultBehavior):
             self._damage(store)
             self.phase = "down"
             self.dark_seen = 0
+            self.log_phase("down")
         if self.phase == "down":
             self.dark_seen += 1
             if self.dark_seen <= self.rejoin_after:
@@ -117,6 +118,7 @@ class CrashRecoverAt(FaultBehavior):
             server.restore(state)
             self._store(server).frozen = False
             self.phase = "recovered"
+            self.log_phase("recovered")
         return True
 
     def reply(

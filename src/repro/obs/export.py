@@ -1,0 +1,196 @@
+"""Observability exporters: JSONL dumps, Chrome trace timelines, terminal tables.
+
+Three output shapes for the records :func:`~repro.obs.spans.derive_spans`
+and :func:`~repro.obs.metrics.derive_metrics` produce:
+
+* :func:`dump_spans_jsonl` / :func:`dump_metrics_jsonl` — one JSON object
+  per line, sorted keys, with optional merged extras (the trial index) —
+  the same conventions as ``--trace`` dumps, so files from both engines
+  compare byte for byte.
+* :func:`write_chrome_trace` — Chrome trace-event JSON (the ``X``
+  complete-event form), loadable in Perfetto (https://ui.perfetto.dev)
+  or ``chrome://tracing``: one process per trial, one thread track per
+  client and per object, timestamps in virtual ticks.
+* :func:`summarize_spans` — a fixed-width run-summary table (the
+  ``repro stats`` subcommand and the ``--obs`` terminal summary).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.tables import format_table
+
+#: Client/object track ordering in timelines: writer, readers, repair
+#: clients, then objects.
+_ROLE_ORDER = {"w": 0, "r": 1, "q": 2, "s": 3}
+
+
+def _dump_jsonl(records: Iterable[Mapping[str, Any]], sink, extra) -> int:
+    merged = dict(extra or {})
+    written = 0
+    for record in records:
+        line = dict(record)
+        line.update(merged)
+        sink.write(json.dumps(line, sort_keys=True, ensure_ascii=False) + "\n")
+        written += 1
+    return written
+
+
+def dump_spans_jsonl(
+    spans: Iterable[Mapping[str, Any]], sink, extra: Mapping[str, Any] | None = None
+) -> int:
+    """Write span records to ``sink`` as JSONL; returns the line count."""
+    return _dump_jsonl(spans, sink, extra)
+
+
+def dump_metrics_jsonl(
+    metrics: Iterable[Mapping[str, Any]], sink, extra: Mapping[str, Any] | None = None
+) -> int:
+    """Write metric records to ``sink`` as JSONL; returns the line count."""
+    return _dump_jsonl(metrics, sink, extra)
+
+
+def _track_key(name: str) -> tuple[int, int, str]:
+    tail = name[1:]
+    return (_ROLE_ORDER.get(name[:1], 9), int(tail) if tail.isdigit() else 0, name)
+
+
+def _horizon(spans: Sequence[Mapping[str, Any]]) -> int:
+    """Latest virtual time any span touches (closes open-ended events)."""
+    latest = 0
+    for span in spans:
+        for key in ("start", "end", "time"):
+            value = span.get(key)
+            if isinstance(value, int) and value > latest:
+                latest = value
+    return latest
+
+
+def chrome_trace_events(
+    spans: Sequence[Mapping[str, Any]], pid: int = 0, label: str | None = None
+) -> list[dict[str, Any]]:
+    """Trace-event records for one trial's spans (``pid`` = the trial).
+
+    Operations and rounds render as nested complete events on their
+    client's track; recovery windows as complete events and journal syncs
+    as instant events on the object's track.  Timestamps are virtual
+    ticks.  Spans still open at quiescence are closed at the run horizon
+    and flagged ``incomplete`` in their args.
+    """
+    tracks = sorted(
+        {span["client"] if "client" in span else span["object"] for span in spans},
+        key=_track_key,
+    )
+    tid_of = {name: index + 1 for index, name in enumerate(tracks)}
+    horizon = _horizon(spans)
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": label if label is not None else f"trial {pid}"},
+    }]
+    for name in tracks:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid_of[name],
+            "args": {"name": name},
+        })
+    for span in spans:
+        what = span["span"]
+        if what == "sync":
+            events.append({
+                "name": "sync", "cat": "sync", "ph": "i", "s": "t",
+                "ts": span["time"], "pid": pid, "tid": tid_of[span["object"]],
+                "args": {"records": span["records"], "bytes": span["bytes"]},
+            })
+            continue
+        if what == "recovery":
+            start, end, tid = span["start"], span["end"], tid_of[span["object"]]
+            name, cat = "down", "recovery"
+            args: dict[str, Any] = {"behavior": span["behavior"]}
+        elif what == "op":
+            start, end, tid = span["start"], span["end"], tid_of[span["client"]]
+            name, cat = f"{span['op']} #{span['serial']}", "op"
+            args = {"status": span["status"], "rounds": span["rounds"]}
+        else:
+            start, end, tid = span["start"], span["end"], tid_of[span["client"]]
+            phase = span.get("phase")
+            name = f"repair:{phase}" if phase else f"{span['tag']} r{span['round']}"
+            cat = "round"
+            args = {
+                "replies": span["replies"], "needed": span["needed"],
+                "held": span["held"], "dropped": span["dropped"],
+                "destinations": ",".join(span["destinations"]),
+            }
+        if end is None:
+            end = horizon
+            args["incomplete"] = True
+        events.append({
+            "name": name, "cat": cat, "ph": "X", "ts": start, "dur": end - start,
+            "pid": pid, "tid": tid, "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(
+    trials: Sequence[tuple[int, str, Sequence[Mapping[str, Any]]]], sink
+) -> int:
+    """Write one Perfetto-loadable timeline for ``(pid, label, spans)`` trials.
+
+    Returns the trace-event count.  Deterministic output: sorted keys, no
+    wall-clock fields — files from both engines compare byte for byte.
+    """
+    events: list[dict[str, Any]] = []
+    for pid, label, spans in trials:
+        events.extend(chrome_trace_events(spans, pid=pid, label=label))
+    sink.write(json.dumps(
+        {"displayTimeUnit": "ms", "traceEvents": events},
+        sort_keys=True, ensure_ascii=False,
+    ) + "\n")
+    return len(events)
+
+
+def summarize_spans(records: Sequence[Mapping[str, Any]]) -> str:
+    """Per-trial summary table of a span record list (``repro stats``).
+
+    Accepts the records as dumped (each may carry a merged ``trial`` key)
+    or as derived in-process (no ``trial`` key: one implicit trial 0).
+    """
+    trials: dict[int, list[Mapping[str, Any]]] = {}
+    for record in records:
+        trials.setdefault(int(record.get("trial", 0)), []).append(record)
+    rows = []
+    for trial in sorted(trials):
+        spans = trials[trial]
+        ops = [s for s in spans if s["span"] == "op"]
+        rounds = [s for s in spans if s["span"] == "round"]
+        waits = [s["wait"] for s in rounds if s["wait"] is not None]
+        recoveries = [s for s in spans if s["span"] == "recovery"]
+        syncs = [s for s in spans if s["span"] == "sync"]
+        by_kind = {
+            kind: [s for s in ops if s["op"] == kind]
+            for kind in ("write", "read", "repair")
+        }
+        rows.append({
+            "trial": str(trial),
+            "ops (w/r/q)": "/".join(str(len(by_kind[k])) for k in ("write", "read", "repair")),
+            "incomplete": str(sum(1 for s in ops if s["status"] != "complete")),
+            "rounds (worst w/r)": (
+                f"{max((s['rounds'] for s in by_kind['write'] if s['status'] == 'complete'), default=0)}"
+                f"/{max((s['rounds'] for s in by_kind['read'] if s['status'] == 'complete'), default=0)}"
+            ),
+            "quorum wait (mean/max)": (
+                f"{statistics.fmean(waits):.1f}/{max(waits)}" if waits else "-"
+            ),
+            "held": str(sum(s["held"] for s in rounds)),
+            "dropped": str(sum(s["dropped"] for s in rounds)),
+            "recoveries": str(len(recoveries)),
+            "syncs (bytes)": (
+                f"{len(syncs)} ({sum(s['bytes'] for s in syncs)})" if syncs else "-"
+            ),
+        })
+    columns = (
+        "trial", "ops (w/r/q)", "incomplete", "rounds (worst w/r)",
+        "quorum wait (mean/max)", "held", "dropped", "recoveries", "syncs (bytes)",
+    )
+    return format_table(f"span summary — {len(records)} span(s)", columns, rows)

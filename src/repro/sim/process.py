@@ -73,7 +73,24 @@ class FaultBehavior:
     may replace it (lie), or suppress it (return ``None`` — silence).  The
     honest state update has already happened when :meth:`reply` runs; a
     behaviour that wants to present forged state must build its own payload.
+
+    Observability hooks: when a run is observed, the backend arms ``clock``
+    (a zero-argument virtual-time reader) and ``phase_log`` on every
+    behaviour; crash/recover behaviours then record ``(time, "down")`` /
+    ``(time, "recovered")`` transitions via :meth:`log_phase`, from which
+    :func:`repro.obs.spans.derive_spans` reconstructs outage windows.
+    Both stay ``None`` in unobserved runs, making the hook a no-op.
     """
+
+    #: Armed by the backend when observing; ``None`` costs one attribute
+    #: read per transition in unobserved runs.
+    clock = None
+    phase_log: list[tuple[int, str]] | None = None
+
+    def log_phase(self, phase: str) -> None:
+        """Record a ``down``/``recovered`` transition when observed."""
+        if self.clock is not None:
+            self.phase_log.append((self.clock(), phase))
 
     def before_handle(self, server: "ObjectServer", message: Message) -> bool:
         """Gate the honest state transition for this delivery.

@@ -39,11 +39,24 @@ class TraceEvent:
         """JSON-able form (one ``--trace`` JSONL line).
 
         Payload values that are not JSON primitives (tagged values,
-        timestamps, nested protocol state) are rendered with ``str`` — the
-        dump is for offline inspection, not for re-execution (replayable
-        artifacts are :class:`~repro.explore.witness.ScheduleWitness`).
+        timestamps, nested protocol state) are rendered through the
+        type-tagged storage codec (:func:`repro.storage.codec.pack_value`),
+        so dumps round-trip deterministically via
+        :func:`~repro.storage.codec.unpack_value`.  Primitives pass through
+        unchanged — dumps of primitive-only payloads are byte-identical to
+        the older ``str()`` rendering, and old dumps remain readable (the
+        tagged objects simply replace the lossy strings).  Values outside
+        the codec's vocabulary still fall back to ``str``.
         """
+        from repro.storage.codec import pack_value
+
         message = self.message
+        payload = {}
+        for key, value in sorted(message.payload.items()):
+            try:
+                payload[key] = pack_value(value)
+            except TypeError:
+                payload[key] = str(value)
         return {
             "time": self.time,
             "kind": self.kind.value,
@@ -55,11 +68,7 @@ class TraceEvent:
             "round": message.round_no,
             "tag": message.tag,
             "reply": message.is_reply,
-            "payload": {
-                key: value if isinstance(value, (str, int, float, bool, type(None)))
-                else str(value)
-                for key, value in sorted(message.payload.items())
-            },
+            "payload": payload,
         }
 
 

@@ -82,6 +82,22 @@ def _unpack(value: Any) -> Any:
     raise ValueError(f"cannot decode {type(value).__name__} from stable storage")
 
 
+def pack_value(value: Any) -> Any:
+    """Type-tagged JSON-able form of one value (the codec's wire shape).
+
+    Public seam for consumers that want the codec's deterministic,
+    round-trippable rendering inside a larger JSON document rather than
+    standalone bytes — e.g. ``--trace`` dump payloads.  Raises
+    :class:`TypeError` on unencodable types, like :func:`encode_state`.
+    """
+    return _pack(value)
+
+
+def unpack_value(value: Any) -> Any:
+    """Inverse of :func:`pack_value`."""
+    return _unpack(value)
+
+
 def encode_state(value: Any) -> bytes:
     """Serialize one protocol state value to deterministic bytes."""
     return json.dumps(

@@ -107,6 +107,11 @@ class StableStorage:
         self.lag: int = 0
         self.frozen: bool = False
         self._torn_index: int | None = None
+        # Observability: armed (clock set) only for observed runs; each
+        # watermark advance then logs (time, records, frame bytes) made
+        # durable, from which sync spans are derived post-run.
+        self.clock = None
+        self.sync_log: list[tuple[int, int, int]] = []
 
     # -- write path ----------------------------------------------------
 
@@ -119,8 +124,16 @@ class StableStorage:
 
     def sync(self) -> None:
         """Advance the durability watermark, honouring the ``lag`` knob."""
-        self.synced = max(self.synced, len(self._records) - self.lag)
+        before = self.synced
+        self.synced = max(before, len(self._records) - self.lag)
         self._sync_medium()
+        if self.clock is not None and self.synced > before:
+            newly = self._records[before : self.synced]
+            self.sync_log.append((
+                self.clock(),
+                len(newly),
+                sum(_frame_size(key, value) for key, value in newly),
+            ))
 
     # -- read path -----------------------------------------------------
 

@@ -151,3 +151,56 @@ class TestTraceSerialization:
         parsed = [json.loads(line) for line in lines]
         assert all(record["trial"] == 7 for record in parsed)
         assert parsed[0]["time"] == system.trace.events[0].time
+
+    def test_payload_values_round_trip_through_codec(self):
+        # Timestamps/TaggedValues in dumped payloads decode back to the
+        # exact live values — the old str() rendering was lossy.
+        from repro.storage.codec import unpack_value
+
+        system, _, _ = run_abd()
+        checked = 0
+        for event in system.trace.events:
+            record = event.to_dict()
+            json.dumps(record)
+            for key, live in sorted(event.message.payload.items()):
+                assert unpack_value(record["payload"][key]) == live
+                checked += 1
+        assert checked > 0
+
+    def test_primitive_payloads_render_exactly_as_before(self):
+        # Plain scalars pass through the codec untouched, so dumps of
+        # primitive-only payloads stay byte-identical to older files.
+        from repro.sim.network import Message
+        from repro.sim.tracing import TraceEvent
+        from repro.types import object_id, writer_id
+
+        system, write_op, _ = run_abd()
+        event = TraceEvent(
+            time=3,
+            kind=TraceKind.SEND,
+            message=Message(
+                src=writer_id(), dst=object_id(1), op=write_op.op_id,
+                round_no=1, tag="X", payload={"a": 1, "b": "two", "c": None},
+            ),
+        )
+        assert event.to_dict()["payload"] == {"a": 1, "b": "two", "c": None}
+
+    def test_unencodable_payload_values_fall_back_to_str(self):
+        from repro.sim.network import Message
+        from repro.sim.tracing import TraceEvent
+        from repro.types import object_id, writer_id
+
+        class Weird:
+            def __str__(self):
+                return "weird!"
+
+        system, write_op, _ = run_abd()
+        event = TraceEvent(
+            time=3,
+            kind=TraceKind.SEND,
+            message=Message(
+                src=writer_id(), dst=object_id(1), op=write_op.op_id,
+                round_no=1, tag="X", payload={"w": Weird()},
+            ),
+        )
+        assert event.to_dict()["payload"] == {"w": "weird!"}
