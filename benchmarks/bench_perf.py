@@ -50,7 +50,14 @@ trajectory to beat.  The meters:
   a disabled run's ``to_dict()`` is byte-identical to a never-observed
   run's, observing changes no verdict (the observed payload minus its
   ``events``/``elapsed_s`` keys equals the disabled payload exactly), and
-  span/metric dumps are byte-identical across both simulation engines.
+  span/metric dumps are byte-identical across both simulation engines;
+* **robustness** — schedules/sec of the certified frontier walk on the
+  under-provisioned fast-read stack with fault-timing choice points
+  swept, on both engines; the run *asserts* the ladder verdicts
+  (atomicity refuted, k-atomic(2) certified, degradation flagged), that
+  the separating witness carries a fault-trigger decision and replays
+  byte-identically, and that the engines' frontier payloads agree modulo
+  the engine tag — never timing.
 
 The results land in ``BENCH_perf.json`` at the repository root (schema
 documented in ``benchmarks/README.md``).  Run it directly::
@@ -95,7 +102,7 @@ from repro.types import (
 from repro.workloads.generator import WorkloadGenerator, apply_plan
 
 #: Bump when the JSON layout changes incompatibly.
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 SWEEP_PROTOCOLS = ("abd", "fast-regular", "secret-token", "atomic-fast-regular")
 
@@ -1014,6 +1021,105 @@ def bench_obs(quick: bool) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# Robustness frontier: certified model walk with fault-timing choices
+# --------------------------------------------------------------------- #
+
+
+def bench_robustness(quick: bool) -> dict:
+    """Frontier walk throughput, gated on its verdicts — never its timing.
+
+    One configuration, the pinned degradation story of the robustness
+    layer: the fast-read stack provisioned for ``t=1`` carrying one
+    always-stale object plus one whose staleness hides behind an inert
+    ``timed(stale-echo@99)`` wrapper, so refuting atomicity *requires*
+    the explorer's swept fault-trigger choice points.  The walk runs on
+    both simulation engines (minimum over repetitions, like the other
+    meters); the run *asserts* the ladder verdicts — atomicity refuted,
+    k-atomic(2) certified, ``degraded`` flagged — that the separating
+    witness mixes held links with at least one fault trigger and replays
+    byte-identically, and that the engines' frontier payloads agree
+    modulo the engine tag.  CI fails on a frontier or vocabulary
+    regression, never on timing noise.
+    """
+    max_schedules = 1_000 if quick else 3_000
+    repetitions = 1 if quick else 2
+
+    def cluster(engine: str) -> Cluster:
+        return (
+            Cluster("atomic-fast-regular", t=1, S=4, allow_overfault=True,
+                    engine=engine)
+            .with_faults("stale-echo", count=1)
+            .with_faults("timed", count=1, inner="stale-echo", at=99)
+            .with_operations([("write", "v1", 0), ("read", 1, 100)])
+        )
+
+    payloads, timings = {}, {}
+    result = None
+    for engine in ENGINES:
+        best, res = None, None
+        for _ in range(repetitions):
+            started = time.perf_counter()
+            res = cluster(engine).frontier(max_holds=2,
+                                           max_schedules=max_schedules)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        payloads[engine] = res.to_dict()
+        timings[engine] = best
+        if engine == "event":
+            result = res
+
+    # Verdict gates: the frontier's degradation story is pinned.
+    assert result.outcomes["atomicity"] == "refuted"
+    assert result.strongest == "k-atomic(2)" and result.certified
+    assert result.degraded
+    witness = result.witness
+    assert witness is not None
+    assert any(d.to_json()[0] == "fault" for d in witness.decisions), (
+        "the separating witness lost its fault-timing choice point"
+    )
+    outcome = witness.replay()
+    assert witness.reproduces(outcome), "frontier witness replay diverged"
+
+    # Parity gate: engines agree on everything but their own tag.
+    def normalize(payload: dict) -> str:
+        payload = dict(payload)
+        payload.pop("engine")
+        if payload.get("witness"):
+            payload["witness"] = {key: value
+                                  for key, value in payload["witness"].items()
+                                  if key != "engine"}
+        return json.dumps(payload, sort_keys=True)
+
+    assert normalize(payloads["event"]) == normalize(payloads["batched"]), (
+        "frontier payloads diverged between the event and batched engines"
+    )
+
+    schedules = result.schedules
+    return {
+        "protocol": "atomic-fast-regular",
+        "faults": result.faults,
+        "bounds": {"max_holds": 2, "max_schedules": max_schedules},
+        "timing_repetitions": repetitions,
+        "rungs": len(result.outcomes),
+        "schedules": schedules,
+        "engines": {
+            engine: {
+                "seconds": round(timings[engine], 4),
+                "schedules_per_sec": round(schedules / timings[engine], 1),
+            }
+            for engine in ENGINES
+        },
+        "schedules_per_sec": round(schedules / timings["event"], 1),
+        "strongest": result.strongest,
+        "refuted": result.refuted,
+        "degraded": True,                    # asserted above
+        "witness_decisions": [d.to_json() for d in witness.decisions],
+        "witness_replay_identical": True,    # asserted above
+        "identical_across_engines": True,    # asserted above
+    }
+
+
+# --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
 
@@ -1034,6 +1140,7 @@ def run_benchmark(quick: bool = False, trials: int | None = None,
         "reconfig": bench_reconfig(quick),
         "consistency": bench_consistency(quick),
         "obs": bench_obs(quick),
+        "robustness": bench_robustness(quick),
     }
     return report
 
@@ -1116,6 +1223,12 @@ def main(argv: list[str] | None = None) -> int:
           f"({obs['enabled_relative']}x recorded, never asserted; "
           f"{obs['enabled']['spans']} span(s) derived, off-state bytes and "
           f"cross-engine dump parity asserted)")
+    robustness = report["robustness"]
+    print(f"robustness: {robustness['schedules_per_sec']:>10,} schedules/sec "
+          f"frontier walk ({robustness['schedules']} schedules over "
+          f"{robustness['rungs']} rung(s): {robustness['refuted']} refuted, "
+          f"{robustness['strongest']} certified; trigger witness replay and "
+          f"engine parity asserted)")
     print(f"[saved to {args.output}]")
     return 0
 

@@ -358,6 +358,23 @@ def _cluster_from_args(args: argparse.Namespace):
         or getattr(args, "timeline", None)
     ):
         cluster = cluster.with_observe()
+    plan = []
+    for item in getattr(args, "op", None) or ():
+        head, sep, at = item.rpartition("@")
+        kind, sep2, arg = head.partition(":")
+        if not sep or not sep2 or kind not in ("write", "read"):
+            raise ConfigurationError(
+                f"--op expects write:VALUE@TIME or read:READER@TIME, got {item!r}"
+            )
+        try:
+            when = int(at)
+            plan.append((kind, int(arg) if kind == "read" else arg, when))
+        except ValueError:
+            raise ConfigurationError(
+                f"--op expects an integer time (and reader index), got {item!r}"
+            ) from None
+    if plan:
+        return cluster.with_operations(plan)
     return cluster.with_workload(reads=args.reads, spacing=args.spacing,
                                  operations=args.ops,
                                  key_skew=getattr(args, "key_skew", None))
@@ -575,6 +592,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         seed=args.seed,
         stop_on_violation=args.stop_on_violation,
+        fault_timing=args.fault_timing,
+        symmetry=args.symmetry,
         parallel=args.parallel,
         max_workers=args.workers,
     )
@@ -588,6 +607,45 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             print("expected a violation but the bounded space is clean", file=sys.stderr)
         return 0 if found else 1
     return 1 if found else 0
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    import json
+
+    cluster = _cluster_from_args(args)
+    result = cluster.frontier(
+        max_k=args.max_k,
+        max_holds=args.max_holds,
+        max_schedules=args.max_schedules,
+        max_events=args.max_events,
+        granularity=args.granularity,
+        strategy=args.strategy,
+        seed=args.seed,
+        fault_timing=not args.no_fault_timing,
+        symmetry=args.symmetry,
+        parallel=args.parallel,
+        max_workers=args.workers,
+    )
+    print(result.render())
+    if args.jsonl:
+        with open(args.jsonl, "a", encoding="utf-8") as sink:
+            sink.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+        print(f"[appended structured frontier to {args.jsonl}]")
+    if args.witness:
+        if result.witness is None:
+            print("no refutation witness to save (nothing was refuted)",
+                  file=sys.stderr)
+        else:
+            path = result.witness.save(args.witness)
+            print(f"[saved refutation witness to {path}]")
+    if args.expect_strongest is not None:
+        if result.strongest != args.expect_strongest:
+            print(f"expected strongest certified model "
+                  f"{args.expect_strongest!r}, got {result.strongest!r}",
+                  file=sys.stderr)
+            return 1
+        return 0
+    return 0 if result.strongest is not None else 1
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -785,6 +843,11 @@ def main(argv: list[str] | None = None) -> int:
     explore.add_argument("--reads", type=float, default=0.6, help="read fraction")
     explore.add_argument("--spacing", type=int, default=50,
                          help="mean gap between invocations")
+    explore.add_argument("--op", action="append", default=None,
+                         metavar="KIND:ARG@TIME",
+                         help="explicit operation plan entry (repeatable; "
+                              "write:VALUE@TIME or read:READER@TIME; "
+                              "overrides the generated workload)")
     explore.add_argument("--seed", type=int, default=0, help="workload seed")
     explore.add_argument("--check", action="append", default=None,
                          help="consistency check (repeatable; default: the protocol's own)")
@@ -804,6 +867,12 @@ def main(argv: list[str] | None = None) -> int:
                          default="operation", help="hold-link granularity")
     explore.add_argument("--strategy", choices=("bfs", "dfs"), default="bfs",
                          help="frontier order")
+    explore.add_argument("--fault-timing", dest="fault_timing", action="store_true",
+                         help="sweep per-object fault trigger points as "
+                              "choice points (needs --faults, no --scenario)")
+    explore.add_argument("--symmetry", action="store_true",
+                         help="canonicalize schedules over interchangeable "
+                              "fault-free objects (prunes symmetric twins)")
     explore.add_argument("--stop-on-violation", action="store_true",
                          help="stop at the first violating schedule (refutation mode)")
     explore.add_argument("--parallel", action="store_true",
@@ -814,6 +883,83 @@ def main(argv: list[str] | None = None) -> int:
                          help="save the first violation witness as JSON to PATH")
     explore.add_argument("--expect-violation", action="store_true",
                          help="exit 0 iff a violation IS found (CI refutation smoke)")
+
+    frontier = sub.add_parser(
+        "frontier",
+        help="certify the strongest consistency model a configuration serves",
+    )
+    frontier.add_argument("--protocol", required=True,
+                          help="registry name (see list-protocols)")
+    frontier.add_argument("--backend", default=None,
+                          help="system backend (default: the protocol's own)")
+    frontier.add_argument("--keys", type=int, default=None,
+                          help="key count for keyed backends")
+    frontier.add_argument("--writers", dest="writers_count", type=int, default=None,
+                          help="writer family size for multi-writer backends")
+    frontier.add_argument("--engine", choices=("event", "batched"), default="event",
+                          help="simulation engine schedules are evaluated on")
+    frontier.add_argument("--durability", choices=("none", "mem", "dir"), default="none",
+                          help="object-state durability backing crash-recover faults")
+    frontier.add_argument("--t", type=int, default=1, help="fault threshold")
+    frontier.add_argument("--S", type=int, default=None,
+                          help="object count (default: protocol minimum)")
+    frontier.add_argument("--readers", type=int, default=2, help="reader population")
+    frontier.add_argument("--faults", default=None,
+                          help="fault behaviour name (e.g. stale-echo, timed)")
+    frontier.add_argument("--count", type=int, default=1,
+                          help="how many objects misbehave")
+    frontier.add_argument("--fault-arg", dest="fault_arg", action="append",
+                          default=None, metavar="KEY=VALUE",
+                          help="fault-behaviour parameter (repeatable; e.g. "
+                               "--fault-arg inner=stale-echo --fault-arg at=99)")
+    frontier.add_argument("--strict", action="store_true",
+                          help="error instead of clamping --count to t")
+    frontier.add_argument("--allow-overfault", action="store_true",
+                          help="permit more than t faulty objects "
+                               "(under-provisioned runs degrade gracefully)")
+    frontier.add_argument("--ops", type=int, default=3,
+                          help="operations in the generated workload")
+    frontier.add_argument("--reads", type=float, default=0.6, help="read fraction")
+    frontier.add_argument("--spacing", type=int, default=50,
+                          help="mean gap between invocations")
+    frontier.add_argument("--op", action="append", default=None,
+                          metavar="KIND:ARG@TIME",
+                          help="explicit operation plan entry (repeatable; "
+                               "write:VALUE@TIME or read:READER@TIME; "
+                               "overrides the generated workload)")
+    frontier.add_argument("--seed", type=int, default=0, help="workload seed")
+    frontier.add_argument("--max-k", type=int, default=4,
+                          help="deepest k-atomic(k) rung on the ladder")
+    frontier.add_argument("--max-holds", type=int, default=2,
+                          help="most decisions a schedule may take")
+    frontier.add_argument("--max-schedules", type=int, default=2000,
+                          help="schedule budget per ladder rung")
+    frontier.add_argument("--max-events", type=int, default=200_000,
+                          help="simulator event budget per schedule")
+    frontier.add_argument("--granularity", choices=("operation", "round"),
+                          default="operation", help="hold-link granularity")
+    frontier.add_argument("--strategy", choices=("bfs", "dfs"), default="bfs",
+                          help="frontier order")
+    frontier.add_argument("--no-fault-timing", dest="no_fault_timing",
+                          action="store_true",
+                          help="do not sweep fault trigger points "
+                               "(facade-scheduled timing only)")
+    frontier.add_argument("--symmetry", action="store_true",
+                          help="canonicalize schedules over interchangeable "
+                               "fault-free objects")
+    frontier.add_argument("--parallel", action="store_true",
+                          help="evaluate frontier waves on a process pool")
+    frontier.add_argument("--workers", type=int, default=None,
+                          help="process-pool size with --parallel")
+    frontier.add_argument("--witness", default=None, metavar="PATH",
+                          help="save the refutation witness (the schedule "
+                               "breaking the next-stronger model) to PATH")
+    frontier.add_argument("--jsonl", default=None, metavar="PATH",
+                          help="append the structured frontier as one JSON "
+                               "line to PATH")
+    frontier.add_argument("--expect-strongest", default=None, metavar="MODEL",
+                          help="exit 0 iff MODEL is the strongest certified "
+                               "model (CI smoke)")
 
     replay = sub.add_parser(
         "replay", help="re-execute a saved schedule witness and re-check it"
@@ -848,6 +994,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "explore": _cmd_explore,
+        "frontier": _cmd_frontier,
         "replay": _cmd_replay,
         "stats": _cmd_stats,
     }

@@ -346,8 +346,15 @@ def _arm_observability(backend: SystemBackend) -> None:
     for server in simulator.objects.values():
         behavior = server.behavior
         if behavior is not None:
-            behavior.clock = clock
-            behavior.phase_log = []
+            # Wrapper chains (timed faults) share one log per server, so
+            # the wrapper's "fired" marker and the inner behaviour's own
+            # phases interleave on a single timeline.
+            shared_log: list[tuple[int, str]] = []
+            link = behavior
+            while link is not None:
+                link.clock = clock
+                link.phase_log = shared_log
+                link = getattr(link, "inner", None)
         store = getattr(server.handler, "store", None)
         if store is not None:
             store.clock = clock

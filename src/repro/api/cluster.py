@@ -218,6 +218,11 @@ class RunResult:
     engine: str = "event"
     durability: str = "none"
     consistency: str = "atomic"
+    #: Robustness-frontier payload (``None`` unless a frontier was
+    #: attached, e.g. by ``sweep(frontier=True)``): the
+    #: :meth:`~repro.robustness.FrontierResult.to_dict` of the
+    #: configuration's certified model spectrum.
+    robustness: dict[str, Any] | None = None
 
     @property
     def worst_write(self) -> int:
@@ -298,6 +303,10 @@ class RunResult:
             # means the paper's atomic semantics, keeping old JSONL files
             # comparable.
             payload["consistency"] = self.consistency
+        if self.robustness is not None:
+            # New key, only when a frontier was computed for this run:
+            # frontier-free payloads stay byte-identical.
+            payload["robustness"] = self.robustness
         return payload
 
     def row(self) -> dict[str, str]:
@@ -395,6 +404,22 @@ class _FaultGroup:
     count: int
     strict: bool
     kwargs: tuple[tuple[str, Any], ...]
+
+
+def _group_label(group: _FaultGroup) -> str:
+    """Scenario-label fragment for one fault group.
+
+    Timed groups carry their inner fault and trigger point in the label
+    (``timed(stale-echo@2)×1``) — the timing *is* the configuration.
+    Every other group keeps the historical ``fault×count`` form, so stored
+    scenario labels stay byte-stable.
+    """
+    if group.fault == "timed":
+        kwargs = dict(group.kwargs)
+        inner = kwargs.pop("inner", "?")
+        at = kwargs.pop("at", 0)
+        return f"timed({inner}@{at})×{group.count}"
+    return f"{group.fault}×{group.count}"
 
 
 # --------------------------------------------------------------------- #
@@ -1185,6 +1210,18 @@ class Cluster:
         clone._checks = self._checks + canonical
         return clone
 
+    def with_checks(self, *names: str, k: int | None = None) -> "Cluster":
+        """Like :meth:`check`, but *replacing* any checks added so far.
+
+        The robustness frontier walks one configuration down the model
+        ladder, re-probing it under each checker in turn — appending (what
+        :meth:`check` does) would accumulate the whole ladder onto every
+        probe.
+        """
+        clone = self._clone()
+        clone._checks = ()
+        return clone.check(*names, k=k) if names else clone
+
     # ------------------------------------------------------------------ #
     # Materialization
     # ------------------------------------------------------------------ #
@@ -1213,7 +1250,7 @@ class Cluster:
             return self._scenario.name
         if not self._fault_groups:
             return "fault-free"
-        return "+".join(f"{g.fault}×{g.count}" for g in self._fault_groups)
+        return "+".join(_group_label(g) for g in self._fault_groups)
 
     def _plans(self, seed: int) -> list[OperationPlan]:
         if self._explicit_plans is not None:
@@ -1398,47 +1435,22 @@ class Cluster:
         )
         return result
 
-    def explore(
+    def _schedule_probe(
         self,
         *,
-        max_holds: int = 2,
-        max_schedules: int = 2_000,
-        max_events: int = 200_000,
-        granularity: str = "operation",
-        strategy: str = "bfs",
         seed: int = 0,
-        minimize: bool = True,
-        stop_on_violation: bool = False,
-        parallel: bool = False,
-        max_workers: int | None = None,
+        granularity: str = "operation",
+        max_events: int = 200_000,
     ) -> "Any":
-        """Bounded model check: sweep held-message schedules for violations.
-
-        Where :meth:`run` simulates *one* schedule per trial, ``explore``
-        searches the schedule space: it enumerates which client↔object
-        links the adversary keeps in transit (up to ``max_holds`` at a
-        time, over at most ``max_schedules`` schedules, each capped at
-        ``max_events`` simulator events), runs every schedule through the
-        configured workload/fault setup, and checks the requested
-        consistency properties on each recorded history.  Violating
-        schedules are delta-debugged to minimal hold sets and returned as
-        replayable :class:`~repro.explore.witness.ScheduleWitness` JSON;
-        a clean sweep of the exhausted bounded space *certifies* the
-        configuration (see
-        :attr:`~repro.explore.engine.ExploreResult.certified`).
-
-        The workload is materialized once (explicit plans, or the
-        generated plan for ``seed``) so every schedule replays the same
-        operations.  Checks default to the protocol's advertised
-        consistency level.  ``parallel=True`` fans each frontier wave over
-        the trial engine's process pool with byte-identical results.
-        """
-        from repro.explore.engine import ScheduleProbe, explore_probe
+        """The :class:`~repro.explore.engine.ScheduleProbe` this
+        configuration explores — the shared boundary between
+        :meth:`explore`, :meth:`frontier` and the CLI."""
+        from repro.explore.engine import ScheduleProbe
 
         self._require_scenario_durability()
         plans = tuple(self._plans(seed))
         checks = self._checks or (self._spec.default_check(),)
-        probe = ScheduleProbe(
+        return ScheduleProbe(
             protocol=self._spec.name,
             protocol_kwargs=tuple(sorted(self._protocol_kwargs.items())),
             t=self._t,
@@ -1463,6 +1475,54 @@ class Cluster:
             consistency=self._consistency,
             observe=self._observe,
         )
+
+    def explore(
+        self,
+        *,
+        max_holds: int = 2,
+        max_schedules: int = 2_000,
+        max_events: int = 200_000,
+        granularity: str = "operation",
+        strategy: str = "bfs",
+        seed: int = 0,
+        minimize: bool = True,
+        stop_on_violation: bool = False,
+        fault_timing: bool = False,
+        symmetry: bool = False,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> "Any":
+        """Bounded model check: sweep held-message schedules for violations.
+
+        Where :meth:`run` simulates *one* schedule per trial, ``explore``
+        searches the schedule space: it enumerates which client↔object
+        links the adversary keeps in transit (up to ``max_holds`` at a
+        time, over at most ``max_schedules`` schedules, each capped at
+        ``max_events`` simulator events), runs every schedule through the
+        configured workload/fault setup, and checks the requested
+        consistency properties on each recorded history.  Violating
+        schedules are delta-debugged to minimal hold sets and returned as
+        replayable :class:`~repro.explore.witness.ScheduleWitness` JSON;
+        a clean sweep of the exhausted bounded space *certifies* the
+        configuration (see
+        :attr:`~repro.explore.engine.ExploreResult.certified`).
+
+        The workload is materialized once (explicit plans, or the
+        generated plan for ``seed``) so every schedule replays the same
+        operations.  Checks default to the protocol's advertised
+        consistency level.  ``parallel=True`` fans each frontier wave over
+        the trial engine's process pool with byte-identical results.
+
+        ``fault_timing=True`` widens the decision vocabulary to *when*
+        each configured fault fires (swept per object over the traffic it
+        actually handled); ``symmetry=True`` folds hold sets that differ
+        only by a permutation of interchangeable fault-free objects.
+        """
+        from repro.explore.engine import explore_probe
+
+        probe = self._schedule_probe(
+            seed=seed, granularity=granularity, max_events=max_events
+        )
         return explore_probe(
             probe,
             max_holds=max_holds,
@@ -1470,6 +1530,49 @@ class Cluster:
             strategy=strategy,
             minimize=minimize,
             stop_on_violation=stop_on_violation,
+            fault_timing=fault_timing,
+            symmetry=symmetry,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+
+    def frontier(
+        self,
+        *,
+        max_k: int = 4,
+        max_holds: int = 2,
+        max_schedules: int = 2_000,
+        max_events: int = 200_000,
+        granularity: str = "operation",
+        strategy: str = "bfs",
+        seed: int = 0,
+        fault_timing: bool = True,
+        symmetry: bool = False,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> "Any":
+        """The certified robustness frontier of this configuration.
+
+        Walks the consistency-model ladder — atomic, ``k-atomic(2..max_k)``,
+        and (for single-writer stacks) regular and safe — re-exploring the
+        bounded schedule space under each checker, and reports the
+        strongest model the configuration *certifies* together with a
+        minimized witness refuting the next-stronger one.  See
+        :func:`repro.robustness.robustness_frontier`.
+        """
+        from repro.robustness import robustness_frontier
+
+        return robustness_frontier(
+            self,
+            max_k=max_k,
+            max_holds=max_holds,
+            max_schedules=max_schedules,
+            max_events=max_events,
+            granularity=granularity,
+            strategy=strategy,
+            seed=seed,
+            fault_timing=fault_timing,
+            symmetry=symmetry,
             parallel=parallel,
             max_workers=max_workers,
         )
@@ -1499,6 +1602,8 @@ def sweep(
     durability: str = "none",
     consistency: str = "atomic",
     observe: bool = False,
+    frontier: bool = False,
+    frontier_bounds: Mapping[str, Any] | None = None,
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> SweepResult:
@@ -1517,9 +1622,14 @@ def sweep(
     scenario × trial — are flattened into one process pool, so small cells
     don't leave workers idle.  Results are reassembled in grid order and are
     byte-identical to a serial sweep with the same seed.
+
+    ``frontier=True`` additionally computes each cell's certified
+    robustness frontier (see :meth:`Cluster.frontier`) and attaches its
+    payload as :attr:`RunResult.robustness`; ``frontier_bounds`` overrides
+    the deliberately modest default exploration bounds.
     """
     result = SweepResult()
-    cells: list[tuple[RunResult, list[TrialSpec]]] = []
+    cells: list[tuple[Cluster, RunResult, list[TrialSpec]]] = []
     for name in protocols if protocols is not None else available_protocols():
         spec = get_spec(name)
         for scenario_name in scenarios if scenarios is not None else spec.scenarios:
@@ -1532,8 +1642,9 @@ def sweep(
                 .with_workload(spacing=spacing, operations=operations, key_skew=key_skew)
                 .check(*checks)
             )
-            cells.append(cluster._prepare_run(trials, seed, keep_history=False))
-    flat = [spec for _, specs in cells for spec in specs]
+            shell, specs = cluster._prepare_run(trials, seed, keep_history=False)
+            cells.append((cluster, shell, specs))
+    flat = [spec for _, _, specs in cells for spec in specs]
     executed = None
     if parallel and len(flat) > 1:
         # Sweep specs reference protocols/scenarios by registry name and
@@ -1543,9 +1654,14 @@ def sweep(
         executed = _pool_map(flat, max_workers)
     if executed is None:
         executed = [run_trial(spec) for spec in flat]
+    bounds = {"max_holds": 1, "max_schedules": 200, "seed": seed}
+    if frontier_bounds:
+        bounds.update(frontier_bounds)
     cursor = 0
-    for run_result, specs in cells:
+    for cluster, run_result, specs in cells:
         run_result.trials.extend(executed[cursor:cursor + len(specs)])
+        if frontier:
+            run_result.robustness = cluster.frontier(**bounds).to_dict()
         result.runs.append(run_result)
         cursor += len(specs)
     return result

@@ -26,9 +26,15 @@ class FaultSpec:
 
     name: str
     maker: Callable[..., Any]
-    model: str  # "benign" | "byzantine"
+    model: str  # "benign" | "byzantine" | "wrapper"
     aliases: tuple[str, ...] = ()
     description: str = ""
+    #: Maker parameters that schedule *when* the behaviour fires (e.g.
+    #: ``survive_messages``).  The ``timed`` wrapper forces these to zero
+    #: and owns the trigger point itself, so facade-scheduled timing and
+    #: explorer-swept timing can never contradict each other.  Empty for
+    #: behaviours that are active from their first delivery.
+    timing: tuple[str, ...] = ()
 
     def build(self, **kwargs: Any) -> Any:
         """A fresh behaviour instance."""
@@ -73,13 +79,16 @@ class FaultSpec:
             )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "model": self.model,
             "aliases": list(self.aliases),
             "description": self.description,
             "params": self.params(),
         }
+        if self.timing:
+            payload["timing"] = list(self.timing)
+        return payload
 
 
 _FAULTS: dict[str, FaultSpec] = {}
@@ -94,10 +103,12 @@ def register_fault(
     model: str,
     aliases: tuple[str, ...] = (),
     description: str = "",
+    timing: tuple[str, ...] = (),
 ) -> FaultSpec:
     """Register ``maker`` as the fault behaviour named ``name``."""
     spec = FaultSpec(
-        name=name, maker=maker, model=model, aliases=tuple(aliases), description=description
+        name=name, maker=maker, model=model, aliases=tuple(aliases),
+        description=description, timing=tuple(timing),
     )
     for key in (name, *spec.aliases):
         if key in _FAULTS or key in _ALIASES:
@@ -123,6 +134,7 @@ def _ensure_registered() -> None:
         lambda survive_messages=3: CrashAt(survive_messages=survive_messages),
         model="benign",
         description="behave correctly for a few messages, then stop replying",
+        timing=('survive_messages',),
     )
     register_fault(
         "silent",
@@ -157,6 +169,7 @@ def _ensure_registered() -> None:
         ),
         model="benign",
         description="go dark mid-run, later rejoin from the durable journal",
+        timing=('survive_messages',),
     )
     register_fault(
         "fsync-lag",
@@ -165,6 +178,7 @@ def _ensure_registered() -> None:
         ),
         model="benign",
         description="crash loses the acknowledged-but-unsynced journal suffix",
+        timing=('survive_messages',),
     )
     register_fault(
         "torn-write",
@@ -173,6 +187,7 @@ def _ensure_registered() -> None:
         ),
         model="benign",
         description="crash tears the last journal record; recovery discards it",
+        timing=('survive_messages',),
     )
     register_fault(
         "perm-crash",
@@ -180,6 +195,7 @@ def _ensure_registered() -> None:
         model="benign",
         aliases=("permanent-crash",),
         description="fail for good mid-run: dark forever, nothing to recover",
+        timing=('survive_messages',),
     )
     register_fault(
         "flap",
@@ -188,12 +204,29 @@ def _ensure_registered() -> None:
         ),
         model="benign",
         description="repeated crash-recover cycles before finally stabilising",
+        timing=('survive_messages',),
     )
     register_fault(
         "rolling-replace",
         lambda base=3, stagger=6: RollingReplace(base=base, stagger=stagger),
         model="benign",
         description="staggered permanent crashes: s1 dies, then s2, then s3",
+        timing=('base', 'stagger'),
+    )
+
+    from repro.faults.timing import timed_fault
+
+    # The wrapped fault's name travels as ``inner=`` (not ``fault=``) so it
+    # never collides with the facade's own ``with_faults(fault, ...)``
+    # parameter.
+    register_fault(
+        "timed",
+        lambda inner="silent", at=0, **kwargs: timed_fault(inner, at=at, **kwargs),
+        model="wrapper",
+        description="defer any registered fault (inner=, default silent — "
+                    "a crash at the trigger) to an explicit per-object "
+                    "trigger point (at= handled messages)",
+        timing=("at",),
     )
 
 

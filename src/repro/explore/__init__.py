@@ -13,7 +13,9 @@ Three layers:
 
 * :mod:`repro.explore.controlled` — :class:`ControlledDelivery`, the
   delivery policy that turns message transit into an explorer-driven
-  choice point over :class:`HoldLink` decisions;
+  choice point over :class:`HoldLink` decisions, plus the second half of
+  the decision vocabulary: :class:`FaultTrigger`, which makes *fault
+  timing* an explorer choice point as well;
 * :mod:`repro.explore.engine` — :class:`ScheduleProbe` (plain-data
   schedule descriptions, pool-parallelizable like trial specs),
   :func:`run_schedule`, and the :class:`Explorer` frontier with sleep-set
@@ -25,7 +27,15 @@ Entry points: :meth:`repro.api.Cluster.explore` and
 ``python -m repro explore`` / ``python -m repro replay``.
 """
 
-from repro.explore.controlled import ControlledDelivery, HoldLink, canonical_links
+from repro.explore.controlled import (
+    ControlledDelivery,
+    Decision,
+    FaultTrigger,
+    HoldLink,
+    canonical_decisions,
+    canonical_links,
+    decision_from_json,
+)
 from repro.explore.engine import (
     Explorer,
     ExploreResult,
@@ -39,8 +49,12 @@ from repro.explore.witness import ScheduleWitness, minimize_decisions
 
 __all__ = [
     "ControlledDelivery",
+    "Decision",
+    "FaultTrigger",
     "HoldLink",
+    "canonical_decisions",
     "canonical_links",
+    "decision_from_json",
     "Explorer",
     "ExploreResult",
     "ExploreStats",

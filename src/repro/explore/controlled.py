@@ -31,12 +31,21 @@ Operations are addressed by their **serial**, which under the trial
 engine's :func:`repro.types.scoped_operation_serials` scope equals the
 1-based position of the operation in the trial's schedule — the same
 plan-addressing used by :class:`~repro.faults.schedules.PlannedSkip`.
+
+Delivery is not the only choice the adversary owns: *fault timing* is the
+second half of the decision vocabulary.  A :class:`FaultTrigger` defers
+one faulted object's behaviour to an explicit per-object trigger point
+(via :class:`~repro.faults.timing.TimedFault`), so "when does the crash /
+freeze fire" is explored exactly like "which link stays in transit".  Both
+decision kinds share one canonical order and one JSON wire form —
+``[op, obj, round]`` for holds (the historical layout, so old witnesses
+load unchanged) and ``["fault", obj, at]`` for triggers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.sim.network import DeliveryPolicy, FifoDelivery, Message
@@ -86,9 +95,83 @@ class HoldLink:
                    round_no=None if round_no is None else int(round_no))
 
 
-def canonical_links(links: Iterable[HoldLink]) -> tuple[HoldLink, ...]:
-    """``links`` as a duplicate-free tuple in canonical order."""
-    return tuple(sorted(set(links), key=lambda link: link.sort_key))
+@dataclass(frozen=True, slots=True)
+class FaultTrigger:
+    """One unit of adversarial choice: *when* a fault fires.
+
+    ``obj`` is the 1-based index of a faulted storage object; ``at`` is the
+    number of messages the object handles honestly before its configured
+    behaviour fires (``at=0`` fires on the first delivery — the
+    facade-scheduled "active from the start" semantics of always-on
+    behaviours).  The schedule engine realizes a trigger by wrapping the
+    object's behaviour in :class:`~repro.faults.timing.TimedFault`.
+    """
+
+    obj: int
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.obj < 1:
+            raise ConfigurationError(
+                f"fault triggers are 1-based, got obj={self.obj}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(
+                f"trigger points are non-negative, got at={self.at}"
+            )
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        return (self.obj, self.at)
+
+    def describe(self) -> str:
+        return f"fire s{self.obj}@{self.at}"
+
+    def to_json(self) -> list:
+        return ["fault", self.obj, self.at]
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "FaultTrigger":
+        kind, obj, at = data
+        if kind != "fault":
+            raise ConfigurationError(f"not a fault-trigger entry: {list(data)!r}")
+        return cls(obj=int(obj), at=int(at))
+
+
+#: The explorer's decision vocabulary: hold a link, or time a fault.
+Decision = Union[HoldLink, FaultTrigger]
+
+
+def decision_from_json(data: Sequence) -> Decision:
+    """Decode one serialized decision (either vocabulary kind).
+
+    Holds keep their historical ``[op, obj, round]`` all-numeric layout;
+    triggers are tagged ``["fault", obj, at]`` — so every decision list in
+    a pre-timing witness decodes exactly as before.
+    """
+    if data and data[0] == "fault":
+        return FaultTrigger.from_json(data)
+    return HoldLink.from_json(data)
+
+
+def _decision_key(decision: Decision) -> tuple[int, int, int, int]:
+    # Holds sort before triggers; within a kind, the dataclass key rules.
+    if isinstance(decision, HoldLink):
+        return (0, *decision.sort_key)
+    return (1, *decision.sort_key, 0)
+
+
+def canonical_links(links: Iterable[Decision]) -> tuple[Decision, ...]:
+    """``links`` as a duplicate-free tuple in canonical order.
+
+    Accepts the full decision vocabulary (the historical name is kept —
+    every decision set the engine touches flows through here).
+    """
+    return tuple(sorted(set(links), key=_decision_key))
+
+
+#: Vocabulary-accurate alias for :func:`canonical_links`.
+canonical_decisions = canonical_links
 
 
 class ControlledDelivery(DeliveryPolicy):
@@ -117,6 +200,12 @@ class ControlledDelivery(DeliveryPolicy):
             )
         self.holds = frozenset(holds)
         for link in self.holds:
+            if isinstance(link, FaultTrigger):
+                raise ConfigurationError(
+                    f"{link.describe()} is a fault-timing decision, not a "
+                    "held link — the schedule engine applies it to the "
+                    "object's behaviour, not the delivery policy"
+                )
             if granularity == "operation" and link.round_no is not None:
                 raise ConfigurationError(
                     f"link {link.describe()} names a round but granularity "

@@ -26,7 +26,20 @@ space small:
 * **transcript hashing** — every run is fingerprinted over its full wire
   trace; a schedule whose trace equals an earlier one is a duplicate (its
   extra decisions matched no messages), so it is neither re-checked nor
-  expanded — any continuation is reachable from the earlier twin.
+  expanded — any continuation is reachable from the earlier twin;
+* **symmetry reduction** (opt-in) — fault-free objects of one protocol are
+  interchangeable, so hold sets that differ only by a permutation of those
+  objects are explored once, through a canonical representative.
+
+With ``fault_timing=True`` the decision vocabulary grows beyond held
+links: for every faulted object the explorer also sweeps *when* that
+object's behaviour fires (:class:`~repro.explore.controlled.FaultTrigger`,
+realized by rebuilding the behaviour as a
+:class:`~repro.faults.timing.TimedFault`).  Trigger points are per-object
+handled-message counts discovered from each parent run's
+:attr:`ScheduleOutcome.fault_counts`, so the swept range grows exactly
+with the traffic the schedule actually produced — the same discovery rule
+held links use.
 
 Violating schedules are not expanded either: a superset of a violating
 hold set wires the same witness with more noise.
@@ -51,7 +64,10 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.explore.controlled import (
     GRANULARITIES,
     ControlledDelivery,
+    Decision,
+    FaultTrigger,
     HoldLink,
+    canonical_decisions,
     canonical_links,
 )
 from repro.faults.schedules import PlannedSkip
@@ -96,7 +112,10 @@ class ScheduleProbe:
     plans: tuple[OperationPlan, ...]
     checks: tuple[str, ...]
     granularity: str = "operation"
-    decisions: tuple[HoldLink, ...] = ()
+    #: The schedule under test: held links plus fault triggers, in the
+    #: canonical decision order (holds first).  Triggers are applied to the
+    #: object behaviours, holds to the delivery policy.
+    decisions: tuple[Decision, ...] = ()
     max_events: int = 200_000
     #: Simulation engine schedules are evaluated on.  Both engines produce
     #: byte-identical outcomes (same failures, same events count, same wire
@@ -143,8 +162,8 @@ class ScheduleProbe:
             observe=self.observe,
         )
 
-    def with_decisions(self, decisions: Sequence[HoldLink]) -> "ScheduleProbe":
-        return replace(self, decisions=canonical_links(decisions))
+    def with_decisions(self, decisions: Sequence[Decision]) -> "ScheduleProbe":
+        return replace(self, decisions=canonical_decisions(decisions))
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,7 +177,7 @@ class ScheduleOutcome:
     reduction key, and the replay-equality oracle for witnesses).
     """
 
-    decisions: tuple[HoldLink, ...]
+    decisions: tuple[Decision, ...]
     failures: tuple[tuple[str, str], ...]
     passed: tuple[str, ...]
     completed: int
@@ -169,13 +188,18 @@ class ScheduleOutcome:
     truncated: bool
     trace_hash: str
     expansions: tuple[HoldLink, ...]
+    #: Per faulted object, how many messages it handled this run — the
+    #: discovery set for fault-timing choice points: a trigger at any
+    #: ``0..seen`` is a distinct adversary within this schedule's traffic.
+    #: Empty for fault-free and scenario-driven probes.
+    fault_counts: tuple[tuple[int, int], ...] = ()
 
     @property
     def violating(self) -> bool:
         return bool(self.failures)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "decisions": [link.to_json() for link in self.decisions],
             "failures": [list(pair) for pair in self.failures],
             "passed": list(self.passed),
@@ -187,6 +211,11 @@ class ScheduleOutcome:
             "truncated": self.truncated,
             "trace_hash": self.trace_hash,
         }
+        if self.fault_counts:
+            # New key, only for fault-carrying probes: fault-free outcomes
+            # keep the exact pre-timing payload.
+            payload["fault_counts"] = [list(pair) for pair in self.fault_counts]
+        return payload
 
 
 #: The PoR + replay-equality key (public home: :mod:`repro.sim.tracing`).
@@ -205,6 +234,53 @@ def _base_policy(probe: ScheduleProbe) -> DeliveryPolicy | None:
     return resolve_trial_policy(probe.scenario, probe.t, probe.schedule)
 
 
+def _apply_fault_triggers(
+    probe: ScheduleProbe,
+    behaviors: dict[Any, Any],
+    triggers: Sequence[FaultTrigger],
+) -> None:
+    """Rebuild each triggered object's behaviour as a timed variant.
+
+    Triggers address faulted objects by index; the behaviour is rebuilt
+    from its fault group with the group's own timing knobs dropped — the
+    trigger is the single source of truth for *when* (an explicit
+    ``timed`` group's facade-scheduled ``at`` is overridden the same way).
+    """
+    if not triggers:
+        return
+    from repro.api.faults import fault_spec
+    from repro.faults.timing import timed_fault
+
+    if probe.scenario is not None:
+        raise ConfigurationError(
+            "fault triggers address named fault groups; scenario-driven "
+            "fault plans schedule their own timing"
+        )
+    # _materialize_behaviors assigns group members to objects s1, s2, …
+    # sequentially (clamping the tail), so faulted index i belongs to the
+    # i-th expanded group entry.
+    expansion = [group for group in probe.fault_groups for _ in range(group.count)]
+    by_index = {pid.index: pid for pid in behaviors}
+    for trigger in triggers:
+        pid = by_index.get(trigger.obj)
+        if pid is None:
+            raise ConfigurationError(
+                f"{trigger.describe()} addresses s{trigger.obj}, which "
+                "carries no fault behaviour"
+            )
+        group = expansion[trigger.obj - 1]
+        spec = fault_spec(group.fault)
+        kwargs = dict(group.kwargs)
+        if spec.name == "timed":
+            inner = kwargs.pop("inner")
+            kwargs.pop("at", None)
+            behaviors[pid] = timed_fault(inner, trigger.at, **kwargs)
+        else:
+            for knob in spec.timing:
+                kwargs.pop(knob, None)
+            behaviors[pid] = timed_fault(spec.name, trigger.at, **kwargs)
+
+
 def run_schedule(probe: ScheduleProbe) -> ScheduleOutcome:
     """Execute one schedule described by ``probe`` and return its outcome.
 
@@ -214,12 +290,15 @@ def run_schedule(probe: ScheduleProbe) -> ScheduleOutcome:
     """
     from repro.api.cluster import _materialize_behaviors, run_check
 
+    holds = tuple(d for d in probe.decisions if isinstance(d, HoldLink))
+    triggers = tuple(d for d in probe.decisions if isinstance(d, FaultTrigger))
     with scoped_operation_serials():
         behaviors = _materialize_behaviors(
             probe.scenario, probe.fault_groups, probe.t, probe.allow_overfault
         )
+        _apply_fault_triggers(probe, behaviors, triggers)
         policy = ControlledDelivery(
-            holds=probe.decisions,
+            holds=holds,
             base=_base_policy(probe),
             granularity=probe.granularity,
         )
@@ -258,6 +337,13 @@ def run_schedule(probe: ScheduleProbe) -> ScheduleOutcome:
         dropped = sum(
             1 for op in operations if op.status is OperationStatus.ABORTED
         )
+        fault_counts: tuple[tuple[int, int], ...] = ()
+        if probe.fault_groups and probe.scenario is None:
+            fault_counts = tuple(sorted(
+                (server.pid.index, server.messages_seen)
+                for server in backend.simulator.objects.values()
+                if server.behavior is not None
+            ))
         return ScheduleOutcome(
             decisions=probe.decisions,
             failures=tuple(failures),
@@ -270,6 +356,7 @@ def run_schedule(probe: ScheduleProbe) -> ScheduleOutcome:
             truncated=truncated,
             trace_hash=_fingerprint(backend.trace),
             expansions=policy.delivered_links,
+            fault_counts=fault_counts,
         )
 
 
@@ -287,12 +374,13 @@ class ExploreStats:
     pruned_duplicate: int = 0  # transcript-hash twins (PoR)
     pruned_seen: int = 0       # child decision sets already enqueued
     pruned_inactive: int = 0   # sleep-set: known links with no traffic here
+    pruned_symmetry: int = 0   # children folded onto a canonical relabeling
     truncated_runs: int = 0
     deepest: int = 0
     minimization_runs: int = 0
 
     def to_dict(self) -> dict[str, int]:
-        return {
+        payload = {
             "explored": self.explored,
             "violating": self.violating,
             "pruned_duplicate": self.pruned_duplicate,
@@ -302,6 +390,11 @@ class ExploreStats:
             "deepest": self.deepest,
             "minimization_runs": self.minimization_runs,
         }
+        if self.pruned_symmetry:
+            # Only symmetry-reduced explorations carry the key, so every
+            # pre-existing payload stays byte-identical.
+            payload["pruned_symmetry"] = self.pruned_symmetry
+        return payload
 
 
 @dataclass(slots=True)
@@ -328,6 +421,12 @@ class ExploreResult:
     max_events: int
     engine: str = "event"
     durability: str = "none"
+    #: Whether fault-trigger choice points were swept (the ``alphabet``
+    #: then counts held links *and* trigger points).
+    fault_timing: bool = False
+    #: Whether interchangeable fault-free objects were folded onto
+    #: canonical representatives.
+    symmetry: bool = False
     alphabet: int = 0
     exhausted: bool = False
     stats: ExploreStats = field(default_factory=ExploreStats)
@@ -346,7 +445,7 @@ class ExploreResult:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "protocol": self.protocol,
             "backend": self.backend,
             "engine": self.engine,
@@ -369,24 +468,39 @@ class ExploreResult:
             "stats": self.stats.to_dict(),
             "witnesses": [witness.to_dict() for witness in self.witnesses],
         }
+        # New keys only when the new machinery was on: default-off payloads
+        # stay byte-identical to the pre-timing schema.
+        if self.fault_timing:
+            payload["fault_timing"] = True
+        if self.symmetry:
+            payload["symmetry"] = True
+        return payload
 
     def render(self) -> str:
         """Human-readable summary, ready to print."""
         engine_tag = "" if self.engine == "event" else f", engine={self.engine}"
         if self.durability != "none":
             engine_tag += f", durability={self.durability}"
+        mode_tag = ""
+        if self.fault_timing:
+            mode_tag += ", fault-timing"
+        if self.symmetry:
+            mode_tag += ", symmetry"
+        unit = "decision(s)" if self.fault_timing else "link(s)"
         lines = [
             f"explore {self.protocol} [{', '.join(self.checks)}] — "
             f"t={self.t}, S={self.S}, {self.n_readers} readers{engine_tag}, "
             f"faults: {self.faults}",
-            f"  strategy={self.strategy}, granularity={self.granularity}, "
-            f"bounds: max_holds={self.max_holds}, "
+            f"  strategy={self.strategy}, granularity={self.granularity}"
+            f"{mode_tag}, bounds: max_holds={self.max_holds}, "
             f"max_schedules={self.max_schedules}, max_events={self.max_events}",
             f"  explored {self.stats.explored} schedule(s) over "
-            f"{self.alphabet} link(s), deepest hold set: {self.stats.deepest}",
+            f"{self.alphabet} {unit}, deepest hold set: {self.stats.deepest}",
             f"  pruning: {self.stats.pruned_duplicate} duplicate trace(s), "
             f"{self.stats.pruned_seen} re-enqueued set(s), "
             f"{self.stats.pruned_inactive} inactive link(s)"
+            + (f", {self.stats.pruned_symmetry} symmetric set(s)"
+               if self.stats.pruned_symmetry else "")
             + (f", {self.stats.truncated_runs} truncated run(s)"
                if self.stats.truncated_runs else ""),
         ]
@@ -432,6 +546,15 @@ class Explorer:
         stop_on_violation: stop the search at the first violating schedule
             (refutation mode); by default the bounded space is swept fully
             (certification mode).
+        fault_timing: also sweep *when* each configured fault fires —
+            fault triggers join held links in the decision vocabulary
+            (ignored for scenario-driven and fault-free probes, whose
+            timing is owned by the scenario / vacuous).
+        symmetry: fold hold sets that differ only by a permutation of the
+            interchangeable (fault-free) objects onto one canonical
+            representative.  Only sound when nothing else distinguishes
+            those objects, so it is ignored for scenario, planned-schedule,
+            repair and spare-carrying probes.
     """
 
     def __init__(
@@ -443,6 +566,8 @@ class Explorer:
         strategy: str = "bfs",
         minimize: bool = True,
         stop_on_violation: bool = False,
+        fault_timing: bool = False,
+        symmetry: bool = False,
     ) -> None:
         if probe.decisions:
             raise ConfigurationError("the explorer starts from the empty schedule")
@@ -462,6 +587,63 @@ class Explorer:
         self.strategy = strategy
         self.minimize = minimize
         self.stop_on_violation = stop_on_violation
+        self.fault_timing = bool(
+            fault_timing and probe.scenario is None and probe.fault_groups
+        )
+        self.symmetry = bool(
+            symmetry
+            and probe.scenario is None
+            and not probe.repairs
+            and not probe.schedule
+            and probe.spares is None
+        )
+        self._relabel_from = 1
+        if self.symmetry:
+            from repro.api.cluster import _materialize_behaviors
+
+            behaviors = _materialize_behaviors(
+                probe.scenario, probe.fault_groups, probe.t, probe.allow_overfault
+            )
+            # Faulted objects occupy s1..s_f (consecutive by construction);
+            # everything above is interchangeable.
+            self._relabel_from = len(behaviors) + 1
+
+    # ------------------------------------------------------------------ #
+    # Symmetry reduction
+    # ------------------------------------------------------------------ #
+
+    def _canonicalize(self, decisions: tuple[Decision, ...]) -> tuple[Decision, ...]:
+        """The canonical representative of ``decisions`` under permutations
+        of the interchangeable (fault-free) objects.
+
+        Per-object hold patterns on those objects are sorted and relabeled
+        onto the smallest interchangeable indices; holds on faulted objects
+        and fault triggers (which only ever address faulted objects) are
+        left untouched.
+        """
+        fixed: list[Decision] = []
+        movable: dict[int, list[HoldLink]] = {}
+        for decision in decisions:
+            if (
+                isinstance(decision, HoldLink)
+                and decision.obj >= self._relabel_from
+            ):
+                movable.setdefault(decision.obj, []).append(decision)
+            else:
+                fixed.append(decision)
+        if not movable:
+            return decisions
+        patterns = sorted(
+            tuple(sorted((hold.op, hold.round_no or 0) for hold in holds))
+            for holds in movable.values()
+        )
+        relabeled: list[Decision] = []
+        for slot, pattern in enumerate(patterns, start=self._relabel_from):
+            for op, rnd in pattern:
+                relabeled.append(
+                    HoldLink(op=op, obj=slot, round_no=rnd or None)
+                )
+        return canonical_decisions(fixed + relabeled)
 
     # ------------------------------------------------------------------ #
     # Wave evaluation
@@ -469,7 +651,7 @@ class Explorer:
 
     def _evaluate(
         self,
-        batch: list[tuple[HoldLink, ...]],
+        batch: list[tuple[Decision, ...]],
         parallel: bool,
         max_workers: int | None,
     ) -> list[ScheduleOutcome]:
@@ -506,15 +688,32 @@ class Explorer:
         root_outcome = run_schedule(self.probe)
         result = self._result_shell()
         stats = result.stats
-        violations: list[tuple[tuple[HoldLink, ...], ScheduleOutcome]] = []
+        violations: list[tuple[tuple[Decision, ...], ScheduleOutcome]] = []
 
-        frontier: deque[tuple[HoldLink, ...]] = deque()
-        seen: set[tuple[HoldLink, ...]] = {()}
+        frontier: deque[tuple[Decision, ...]] = deque()
+        seen: set[tuple[Decision, ...]] = {()}
         trace_seen: set[str] = set()
         alphabet: set[HoldLink] = set()
+        # Triggers live in their own alphabet: mixing them into the link
+        # set would corrupt the sleep-set arithmetic below, which only
+        # reasons about delivered traffic.
+        trigger_alphabet: set[FaultTrigger] = set()
         stop = False
 
-        def absorb(decisions: tuple[HoldLink, ...], outcome: ScheduleOutcome) -> None:
+        def enqueue(decisions: tuple[Decision, ...], extra: Decision) -> None:
+            child = canonical_decisions(decisions + (extra,))
+            if self.symmetry:
+                canonical = self._canonicalize(child)
+                if canonical != child:
+                    stats.pruned_symmetry += 1
+                    child = canonical
+            if child in seen:
+                stats.pruned_seen += 1
+                return
+            seen.add(child)
+            frontier.append(child)
+
+        def absorb(decisions: tuple[Decision, ...], outcome: ScheduleOutcome) -> None:
             nonlocal stop
             stats.explored += 1
             stats.deepest = max(stats.deepest, len(decisions))
@@ -542,12 +741,21 @@ class Explorer:
             for link in outcome.expansions:
                 if link in decisions:
                     continue
-                child = canonical_links(decisions + (link,))
-                if child in seen:
-                    stats.pruned_seen += 1
-                    continue
-                seen.add(child)
-                frontier.append(child)
+                enqueue(decisions, link)
+            if self.fault_timing:
+                # One trigger per object; the swept range is discovered
+                # from this run's own traffic — ``at == seen`` is the
+                # "fires after everything observed" representative.
+                triggered = {
+                    d.obj for d in decisions if isinstance(d, FaultTrigger)
+                }
+                for obj, seen_count in outcome.fault_counts:
+                    if obj in triggered:
+                        continue
+                    for at in range(seen_count + 1):
+                        trigger = FaultTrigger(obj=obj, at=at)
+                        trigger_alphabet.add(trigger)
+                        enqueue(decisions, trigger)
 
         absorb((), root_outcome)
 
@@ -574,7 +782,7 @@ class Explorer:
                     break
 
         result.exhausted = not frontier and not stop and stats.explored <= self.max_schedules
-        result.alphabet = len(alphabet)
+        result.alphabet = len(alphabet) + len(trigger_alphabet)
         self._attach_witnesses(result, violations)
         return result
 
@@ -621,16 +829,18 @@ class Explorer:
             max_holds=self.max_holds,
             max_schedules=self.max_schedules,
             max_events=self.probe.max_events,
+            fault_timing=self.fault_timing,
+            symmetry=self.symmetry,
         )
 
     def _attach_witnesses(
         self,
         result: ExploreResult,
-        violations: list[tuple[tuple[HoldLink, ...], ScheduleOutcome]],
+        violations: list[tuple[tuple[Decision, ...], ScheduleOutcome]],
     ) -> None:
         from repro.explore.witness import ScheduleWitness, minimize_decisions
 
-        emitted: set[tuple[tuple[HoldLink, ...], tuple[str, ...]]] = set()
+        emitted: set[tuple[tuple[Decision, ...], tuple[str, ...]]] = set()
         for decisions, outcome in violations:
             minimal, final_outcome = outcome.decisions, outcome
             if self.minimize:
@@ -656,6 +866,8 @@ def explore_probe(
     strategy: str = "bfs",
     minimize: bool = True,
     stop_on_violation: bool = False,
+    fault_timing: bool = False,
+    symmetry: bool = False,
     parallel: bool = False,
     max_workers: int | None = None,
 ) -> ExploreResult:
@@ -667,5 +879,7 @@ def explore_probe(
         strategy=strategy,
         minimize=minimize,
         stop_on_violation=stop_on_violation,
+        fault_timing=fault_timing,
+        symmetry=symmetry,
     )
     return explorer.run(parallel=parallel, max_workers=max_workers)

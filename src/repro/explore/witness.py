@@ -25,7 +25,12 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.errors import ConfigurationError
-from repro.explore.controlled import HoldLink, canonical_links
+from repro.explore.controlled import (
+    Decision,
+    HoldLink,
+    canonical_links,
+    decision_from_json,
+)
 from repro.explore.engine import ScheduleOutcome, ScheduleProbe, run_schedule
 from repro.faults.schedules import PlannedSkip
 from repro.workloads.generator import OperationPlan
@@ -36,16 +41,17 @@ WITNESS_VERSION = 1
 
 def minimize_decisions(
     probe: ScheduleProbe,
-    decisions: tuple[HoldLink, ...],
+    decisions: tuple[Decision, ...],
     outcome: ScheduleOutcome,
-) -> tuple[tuple[HoldLink, ...], ScheduleOutcome, int]:
+) -> tuple[tuple[Decision, ...], ScheduleOutcome, int]:
     """Delta-debug ``decisions`` to a minimal set still failing the same checks.
 
     Greedy one-at-a-time removal to a fixed point (ddmin's final phase;
     hold sets are small, so the quadratic pass is the whole algorithm): a
-    link is dropped whenever the remaining set still fails every check the
-    original schedule failed.  Returns the minimal set, its outcome, and
-    the number of extra schedule executions spent.
+    decision — held link or fault trigger alike — is dropped whenever the
+    remaining set still fails every check the original schedule failed.
+    Returns the minimal set, its outcome, and the number of extra schedule
+    executions spent.
     """
     target = {name for name, _ in outcome.failures}
     current = list(canonical_links(decisions))
@@ -76,8 +82,8 @@ class ScheduleWitness:
     """
 
     probe: ScheduleProbe
-    decisions: tuple[HoldLink, ...]
-    discovered: tuple[HoldLink, ...]
+    decisions: tuple[Decision, ...]
+    discovered: tuple[Decision, ...]
     failures: tuple[tuple[str, str], ...]
     trace_hash: str
     version: int = WITNESS_VERSION
@@ -86,8 +92,8 @@ class ScheduleWitness:
     def from_exploration(
         cls,
         probe: ScheduleProbe,
-        decisions: tuple[HoldLink, ...],
-        discovered: tuple[HoldLink, ...],
+        decisions: tuple[Decision, ...],
+        discovered: tuple[Decision, ...],
         outcome: ScheduleOutcome,
     ) -> "ScheduleWitness":
         return cls(
@@ -198,7 +204,9 @@ class ScheduleWitness:
                 f"unsupported witness version {version!r} (this build reads "
                 f"version {WITNESS_VERSION})"
             )
-        decisions = tuple(HoldLink.from_json(entry) for entry in data["decisions"])
+        # Fault triggers are tagged ["fault", obj, at]; every untagged
+        # entry is a held link, so pre-timing witnesses load unchanged.
+        decisions = tuple(decision_from_json(entry) for entry in data["decisions"])
         probe = ScheduleProbe(
             protocol=data["protocol"],
             protocol_kwargs=tuple(sorted(data.get("protocol_kwargs", {}).items())),
@@ -263,7 +271,7 @@ class ScheduleWitness:
             probe=probe,
             decisions=decisions,
             discovered=tuple(
-                HoldLink.from_json(entry) for entry in data.get("discovered", ())
+                decision_from_json(entry) for entry in data.get("discovered", ())
             ),
             failures=tuple(
                 (check, explanation) for check, explanation in data["failures"]

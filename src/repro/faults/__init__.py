@@ -10,11 +10,15 @@ The paper's model allows clients to crash and up to ``t`` objects to be
   adversary of the proofs) and fabrication of arbitrary well-typed states
   (:mod:`repro.faults.byzantine`);
 * adversarial delivery schedules — block skipping and reply withholding
-  (:mod:`repro.faults.schedules`).
+  (:mod:`repro.faults.schedules`);
+* fault timing as data — :class:`~repro.faults.timing.TimedFault` defers
+  any registered behaviour to an explicit per-object trigger point, the
+  choice the schedule explorer sweeps (:mod:`repro.faults.timing`).
 """
 
 from repro.faults.adversary import CrashAt, SilentBehavior, flaky_behavior
 from repro.faults.recovery import CrashRecoverAt, FsyncLag, TornWrite
+from repro.faults.timing import TimedFault, timed_fault
 from repro.faults.byzantine import (
     FabricatingBehavior,
     ReplayBehavior,
@@ -40,6 +44,8 @@ __all__ = [
     "ReplayBehavior",
     "StaleEchoBehavior",
     "FabricatingBehavior",
+    "TimedFault",
+    "timed_fault",
     "BlockSkipPolicy",
     "SkipRule",
     "WithholdFrom",

@@ -18,12 +18,18 @@ from repro.sim.process import FaultBehavior, ObjectServer
 class SilentBehavior(FaultBehavior):
     """Never reply to anything (object crashed before the run started)."""
 
+    def __init__(self) -> None:
+        self._announced = False
+
     def reply(
         self,
         server: ObjectServer,
         message: Message,
         honest_payload: Mapping[str, Any],
     ) -> Mapping[str, Any] | None:
+        if not self._announced:
+            self._announced = True
+            self.log_phase("down")
         return None
 
     def describe(self) -> str:
@@ -41,6 +47,7 @@ class CrashAt(FaultBehavior):
         if survive_messages < 0:
             raise ValueError("survive_messages must be non-negative")
         self.survive_messages = survive_messages
+        self._announced = False
 
     def reply(
         self,
@@ -51,6 +58,9 @@ class CrashAt(FaultBehavior):
         # messages_seen was already incremented for this delivery.
         if server.messages_seen <= self.survive_messages:
             return honest_payload
+        if not self._announced:
+            self._announced = True
+            self.log_phase("down")
         return None
 
     def describe(self) -> str:
@@ -72,6 +82,7 @@ class _Flaky(FaultBehavior):
     ) -> Mapping[str, Any] | None:
         if self._rng.random() < self.p_reply:
             return honest_payload
+        self.log_phase("omit")
         return None
 
     def describe(self) -> str:

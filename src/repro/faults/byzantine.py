@@ -93,6 +93,7 @@ class ReplayBehavior(FaultBehavior):
     def __init__(self, archive: StateArchive, rules: Iterable[ReplayRule] = ()) -> None:
         self.archive = archive
         self.rules: list[ReplayRule] = list(rules)
+        self._announced = False
 
     def forge(self, matcher: Callable[[Message], bool], label: str) -> "ReplayBehavior":
         """Append a rule; returns self for chaining."""
@@ -107,6 +108,9 @@ class ReplayBehavior(FaultBehavior):
     ) -> Mapping[str, Any] | None:
         for rule in self.rules:
             if rule.matcher(message):
+                if not self._announced:
+                    self._announced = True
+                    self.log_phase("replay")
                 if not self.archive.has(rule.label, server.pid):
                     return None  # no such past: the safest lie is silence
                 forged_state = self.archive.get(rule.label, server.pid)
@@ -127,11 +131,21 @@ class StaleEchoBehavior(FaultBehavior):
 
     def __init__(self, frozen_state: Mapping[str, Any]) -> None:
         self._frozen = copy_state(dict(frozen_state))
+        self._announced = False
 
     @classmethod
     def freezing(cls, server: ObjectServer) -> "StaleEchoBehavior":
         """Freeze ``server`` at its current state."""
         return cls(server.snapshot())
+
+    def on_activate(self, server: ObjectServer) -> None:
+        """Trigger-scheduled freeze: echo the genuine state at firing time.
+
+        Runs before the firing delivery's state transition, so the frozen
+        snapshot is the state after exactly the trigger's ``at`` handled
+        messages — a *genuine* past state, as the proofs require.
+        """
+        self._frozen = server.snapshot()
 
     def reply(
         self,
@@ -139,6 +153,9 @@ class StaleEchoBehavior(FaultBehavior):
         message: Message,
         honest_payload: Mapping[str, Any],
     ) -> Mapping[str, Any] | None:
+        if not self._announced:
+            self._announced = True
+            self.log_phase("stale")
         if self._frozen:
             scratch = copy_state(self._frozen)
         else:
@@ -164,6 +181,7 @@ class FabricatingBehavior(FaultBehavior):
         fabricate: Callable[[Message, Mapping[str, Any]], Mapping[str, Any] | None] | None = None,
     ) -> None:
         self._fabricate = fabricate or _inflate_timestamps
+        self._announced = False
 
     def reply(
         self,
@@ -171,6 +189,9 @@ class FabricatingBehavior(FaultBehavior):
         message: Message,
         honest_payload: Mapping[str, Any],
     ) -> Mapping[str, Any] | None:
+        if not self._announced:
+            self._announced = True
+            self.log_phase("forging")
         return self._fabricate(message, honest_payload)
 
     def describe(self) -> str:

@@ -65,6 +65,12 @@ class PermanentCrash(FaultBehavior):
         their crash point off ``server.pid.index``.
         """
 
+    def on_armed(self, server: ObjectServer) -> None:
+        """Derive per-object parameters while dormant under a timed wrapper."""
+        if not self._configured:
+            self._configured = True
+            self._configure(server)
+
     # -- the phase machine ---------------------------------------------
 
     def before_handle(self, server: ObjectServer, message: Message) -> bool:

@@ -83,6 +83,21 @@ class CrashRecoverAt(FaultBehavior):
     def _damage(self, store: StableStorage) -> None:
         """Apply crash damage beyond losing the unsynced suffix."""
 
+    # -- timed-fault wrapping ------------------------------------------
+
+    def on_armed(self, server: ObjectServer) -> None:
+        """Configure the store while still dormant under a timed wrapper.
+
+        Durability-dependent damage needs its setup (fsync-lag's sync-lag
+        knob, staggered parameters) in effect from the run's start even
+        when the crash itself is trigger-scheduled — otherwise the journal
+        the crash eats would have been synced with the default policy.
+        """
+        if not self._prepared:
+            self._prepared = True
+            self._configure(server)
+            self._prepare(self._store(server))
+
     # -- the phase machine ---------------------------------------------
 
     def _store(self, server: ObjectServer) -> StableStorage:

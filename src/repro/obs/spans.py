@@ -123,8 +123,14 @@ def derive_spans(simulator: Simulator, trace: MessageTrace) -> list[dict[str, An
                 span["phase"] = phase
             spans.append(span)
     spans.extend(_recovery_spans(simulator))
+    spans.extend(_fault_spans(simulator))
     spans.extend(_sync_spans(simulator))
     return spans
+
+
+#: Phases that open/close outage windows; every other logged phase is a
+#: point fault event (see :func:`_fault_spans`).
+_WINDOW_PHASES = ("down", "recovered")
 
 
 def _recovery_spans(simulator: Simulator) -> list[dict[str, Any]]:
@@ -140,7 +146,7 @@ def _recovery_spans(simulator: Simulator) -> list[dict[str, Any]]:
         for time, phase in log:
             if phase == "down":
                 open_at = time
-            elif open_at is not None:
+            elif phase == "recovered" and open_at is not None:
                 spans.append({
                     "span": "recovery",
                     "object": str(pid),
@@ -157,6 +163,34 @@ def _recovery_spans(simulator: Simulator) -> list[dict[str, Any]]:
                 "behavior": behavior.describe(),
                 "start": open_at,
                 "end": None,
+            })
+    return spans
+
+
+def _fault_spans(simulator: Simulator) -> list[dict[str, Any]]:
+    """Point fault events from the non-outage phases of the fault logs.
+
+    Byzantine onsets (``stale``/``forging``/``replay``), per-message
+    omissions (``omit``) and timed-fault activations (``fired``) have no
+    natural end time, so each becomes a single ``fault`` event rather than
+    a window — every fault family is visible on the span timeline.
+    """
+    spans: list[dict[str, Any]] = []
+    for pid in sorted(simulator.objects, key=str):
+        server = simulator.objects[pid]
+        behavior = server.behavior
+        log = getattr(behavior, "phase_log", None)
+        if not log:
+            continue
+        for time, phase in log:
+            if phase in _WINDOW_PHASES:
+                continue
+            spans.append({
+                "span": "fault",
+                "object": str(pid),
+                "behavior": behavior.describe(),
+                "phase": phase,
+                "time": time,
             })
     return spans
 

@@ -92,6 +92,26 @@ class FaultBehavior:
         if self.clock is not None:
             self.phase_log.append((self.clock(), phase))
 
+    def on_armed(self, server: "ObjectServer") -> None:
+        """The behaviour is installed but dormant (timed-fault wrapping).
+
+        :class:`~repro.faults.timing.TimedFault` calls this on the first
+        delivery *before* the trigger fires, so behaviours whose damage
+        depends on pre-fire configuration (a durable store's sync lag, a
+        staggered phase machine) can arm it from the start.  The default
+        does nothing — most behaviours need no setup until they fire.
+        """
+
+    def on_activate(self, server: "ObjectServer") -> None:
+        """The behaviour's trigger point has been reached.
+
+        Called by :class:`~repro.faults.timing.TimedFault` exactly once, on
+        the delivery that fires the fault, *before* that delivery's state
+        transition — so a behaviour that captures "the genuine state at
+        firing time" (stale-echo's freeze) snapshots the state after
+        exactly ``at`` handled messages.  The default does nothing.
+        """
+
     def before_handle(self, server: "ObjectServer", message: Message) -> bool:
         """Gate the honest state transition for this delivery.
 

@@ -278,3 +278,84 @@ class TestExploreCli:
     def test_explore_unknown_protocol_exits_2(self, capsys):
         assert main(["explore", "--protocol", "raft"]) == 2
         assert "unknown protocol" in capsys.readouterr().err
+
+
+class TestFrontierCli:
+    #: Two inert ``timed(stale-echo@99)`` objects on the t=1 stack: the
+    #: refutation only exists through swept fault-trigger decisions.
+    TIMED = [
+        "--protocol", "atomic-fast-regular", "--S", "4", "--allow-overfault",
+        "--faults", "timed", "--count", "2",
+        "--fault-arg", "inner=stale-echo", "--fault-arg", "at=99",
+        "--op", "write:v1@0", "--op", "read:1@100", "--max-holds", "3",
+    ]
+
+    def test_frontier_certifies_clean_abd(self, capsys):
+        assert main([
+            "frontier", "--protocol", "abd", "--faults", "crash",
+            "--op", "write:v1@0", "--op", "read:1@100",
+            "--expect-strongest", "atomicity",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "✓ atomicity: certified" in out
+
+    def test_frontier_walks_ladder_and_saves_witness(self, tmp_path, capsys):
+        witness = tmp_path / "frontier.json"
+        assert main(
+            ["frontier", *self.TIMED, "--witness", str(witness),
+             "--expect-strongest", "k-atomic(2)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "✗ atomicity: refuted" in out
+        assert "✓ k-atomic(2): certified" in out
+        assert "[over budget]" in out
+        assert "fire s1@0" in out
+        data = json.loads(witness.read_text())
+        assert ["fault", 1, 0] in data["decisions"]
+        assert main(["replay", str(witness)]) == 0
+        assert "reproduced byte-identically" in capsys.readouterr().out
+
+    def test_frontier_expect_mismatch_exits_1(self, capsys):
+        assert main(
+            ["frontier", *self.TIMED, "--expect-strongest", "atomicity"]
+        ) == 1
+        assert "expected strongest" in capsys.readouterr().err
+
+    def test_frontier_jsonl_payload(self, tmp_path, capsys):
+        sink = tmp_path / "frontier.jsonl"
+        assert main(["frontier", *self.TIMED, "--jsonl", str(sink)]) == 0
+        capsys.readouterr()
+        record = json.loads(sink.read_text())
+        assert record["strongest"] == "k-atomic(2)"
+        assert record["degraded"] is True
+        assert record["witness"]["failures"][0][0] == "atomicity"
+
+    def test_explore_fault_timing_flag(self, tmp_path, capsys):
+        base = TestFrontierCli.TIMED + ["--check", "atomicity"]
+        assert main(["explore", *base]) == 0  # facade timing: clean
+        assert "CERTIFIED" in capsys.readouterr().out
+        assert main(["explore", *base, "--fault-timing",
+                     "--expect-violation"]) == 0
+        assert "fire s1@0" in capsys.readouterr().out
+
+    def test_op_flag_rejects_malformed_entries(self, capsys):
+        assert main([
+            "explore", "--protocol", "abd", "--op", "write@v1:0",
+        ]) == 2
+        assert "--op expects" in capsys.readouterr().err
+
+    def test_compare_keys_on_trigger_point(self, tmp_path, capsys):
+        """Runs with different fault trigger points are never like-for-like:
+        the trigger travels in the scenario label, so timed@0 and timed@99
+        rows get distinct compare keys."""
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path, at in ((a, "0"), (b, "99")):
+            assert main([
+                "run", "--protocol", "abd", "--faults", "timed",
+                "--fault-arg", "inner=silent", "--fault-arg", f"at={at}",
+                "--trials", "1", "--seed", "3", "--jsonl", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "compared 0 run(s)" in out and "only in" in out

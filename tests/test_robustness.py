@@ -1,0 +1,396 @@
+"""Robustness frontier + fault-timing choice points (repro.robustness).
+
+Covers the decision vocabulary (HoldLink + FaultTrigger under one
+``Decision`` umbrella), the explorer's swept trigger points, symmetry
+reduction, and the certified cross-model frontier: abd certifies
+atomicity at its resilience bound while the under-provisioned fast-read
+stack is refuted at atomicity and lands — with a minimized, replayable
+witness — at k-atomic(2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import Cluster
+from repro.api.cluster import sweep
+from repro.errors import ConfigurationError
+from repro.explore import (
+    ControlledDelivery,
+    FaultTrigger,
+    HoldLink,
+    canonical_decisions,
+    decision_from_json,
+)
+from repro.robustness import FrontierResult, model_ladder, robustness_frontier
+
+
+def underprovisioned_cluster() -> Cluster:
+    """Two always-stale objects on a 3t+1 stack sized for one."""
+    return (
+        Cluster("atomic-fast-regular", t=1, S=4, allow_overfault=True)
+        .with_faults("stale-echo", count=2)
+        .with_operations([("write", "v1", 0), ("read", 1, 100)])
+    )
+
+
+def timed_stack() -> Cluster:
+    """One always-stale object plus one whose staleness needs a trigger."""
+    return (
+        Cluster("atomic-fast-regular", t=1, S=4, allow_overfault=True)
+        .with_faults("stale-echo", count=1)
+        .with_faults("timed", count=1, inner="stale-echo", at=99)
+        .with_operations([("write", "v1", 0), ("read", 1, 100)])
+    )
+
+
+# --------------------------------------------------------------------- #
+# Decision vocabulary
+# --------------------------------------------------------------------- #
+
+
+class TestDecisionVocabulary:
+    def test_trigger_validates_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultTrigger(obj=0, at=0)
+        with pytest.raises(ConfigurationError):
+            FaultTrigger(obj=1, at=-1)
+
+    def test_trigger_json_round_trip(self):
+        trigger = FaultTrigger(obj=2, at=3)
+        assert trigger.to_json() == ["fault", 2, 3]
+        assert decision_from_json(trigger.to_json()) == trigger
+
+    def test_decision_from_json_dispatch(self):
+        assert decision_from_json([1, 3, None]) == HoldLink(op=1, obj=3)
+        assert decision_from_json(["fault", 2, 0]) == FaultTrigger(obj=2, at=0)
+
+    def test_canonical_order_holds_before_triggers(self):
+        decisions = canonical_decisions([
+            FaultTrigger(obj=1, at=0),
+            HoldLink(op=2, obj=1),
+            HoldLink(op=1, obj=3),
+            FaultTrigger(obj=2, at=5),
+        ])
+        assert decisions == (
+            HoldLink(op=1, obj=3),
+            HoldLink(op=2, obj=1),
+            FaultTrigger(obj=1, at=0),
+            FaultTrigger(obj=2, at=5),
+        )
+
+    def test_controlled_delivery_rejects_triggers(self):
+        with pytest.raises(ConfigurationError):
+            ControlledDelivery(holds=(FaultTrigger(obj=1, at=0),))
+
+    def test_describe(self):
+        assert FaultTrigger(obj=2, at=4).describe() == "fire s2@4"
+
+
+# --------------------------------------------------------------------- #
+# Fault-timing choice points
+# --------------------------------------------------------------------- #
+
+
+class TestTimingChoicePoints:
+    def test_facade_timing_is_honored(self):
+        """``timed(stale-echo@at)`` fires at the facade's chosen point."""
+        def stack(at: int) -> Cluster:
+            return (
+                Cluster("atomic-fast-regular", t=1, S=4, allow_overfault=True)
+                .with_faults("timed", count=2, inner="stale-echo", at=at)
+                .with_operations([("write", "v1", 0), ("read", 1, 100)])
+                .check("atomicity")
+            )
+
+        active = stack(0).explore(max_holds=1, max_schedules=500)
+        assert active.witnesses, "at=0 staleness should refute atomicity"
+        inert = stack(99).explore(max_holds=1, max_schedules=500)
+        assert inert.certified and not inert.witnesses
+
+    def test_swept_triggers_expose_inert_faults(self):
+        """The explorer finds violations the facade's timing never shows."""
+        cluster = (
+            Cluster("atomic-fast-regular", t=1, S=4, allow_overfault=True)
+            .with_faults("timed", count=2, inner="stale-echo", at=99)
+            .with_operations([("write", "v1", 0), ("read", 1, 100)])
+            .check("atomicity")
+        )
+        untimed = cluster.explore(max_holds=3, max_schedules=3000)
+        assert untimed.certified and not untimed.witnesses
+        timed = cluster.explore(max_holds=3, max_schedules=3000,
+                                fault_timing=True)
+        assert timed.witnesses
+        triggers = [d for d in timed.witnesses[0].decisions
+                    if isinstance(d, FaultTrigger)]
+        assert sorted((t.obj, t.at) for t in triggers) == [(1, 0), (2, 0)]
+
+    def test_mixed_witness_replays_byte_identically(self):
+        result = timed_stack().check("atomicity").explore(
+            max_holds=2, max_schedules=3000, fault_timing=True
+        )
+        assert result.witnesses
+        witness = result.witnesses[0]
+        kinds = {type(d) for d in witness.decisions}
+        assert kinds == {HoldLink, FaultTrigger}
+        outcome = witness.replay()
+        assert witness.reproduces(outcome)
+
+    def test_trigger_on_unfaulted_object_rejected(self):
+        result = timed_stack().check("atomicity").explore(
+            max_holds=2, max_schedules=3000, fault_timing=True
+        )
+        witness = result.witnesses[0]
+        doctored = dataclasses.replace(
+            witness, decisions=(FaultTrigger(obj=4, at=0),)
+        )
+        with pytest.raises(ConfigurationError):
+            doctored.replay()
+
+    def test_timing_needs_fault_groups(self):
+        """fault_timing on a fault-free probe degrades to plain holds."""
+        cluster = (
+            Cluster("abd")
+            .with_operations([("write", "v1", 0), ("read", 1, 100)])
+            .check("atomicity")
+        )
+        plain = cluster.explore(max_holds=1, max_schedules=500)
+        swept = cluster.explore(max_holds=1, max_schedules=500,
+                                fault_timing=True)
+        assert swept.stats.explored == plain.stats.explored
+        assert swept.certified == plain.certified
+
+
+class TestTimedFaultWrapper:
+    def test_rejects_nesting_and_timing_clashes(self):
+        from repro.faults.timing import timed_fault
+
+        with pytest.raises(ConfigurationError):
+            timed_fault("timed", at=1)
+        with pytest.raises(ConfigurationError):
+            timed_fault("crash", at=1, survive_messages=3)
+        with pytest.raises(ConfigurationError):
+            timed_fault("crash", at=-1)
+
+    def test_bare_registry_build(self):
+        from repro.api.faults import get_fault
+        from repro.faults.timing import TimedFault
+
+        behavior = get_fault("timed")
+        assert isinstance(behavior, TimedFault)
+        assert behavior.describe() == "timed(silent@0)"
+
+    def test_crash_trigger_swept_across_a_round_boundary(self):
+        """timed(crash)@at behaves exactly like survive_messages=at.
+
+        The trigger point decides which round's message the crash
+        swallows: fired before the write's second round the store never
+        lands on s1, fired late the object is indistinguishable from
+        correct — same verdict either way (t=1 tolerates one crash), but
+        the message trace must shift with the trigger.
+        """
+        def run(at: int):
+            return (
+                Cluster("abd", t=1)
+                .with_faults("timed", count=1, inner="crash", at=at)
+                .with_operations([("write", "v1", 0), ("read", 1, 100)])
+                .check("atomicity")
+                .run(trials=1, keep_trace=True)
+            )
+
+        early, late = run(0), run(50)
+        assert early.ok and late.ok
+        from repro.sim.tracing import trace_fingerprint
+        assert (trace_fingerprint(early.trials[0].trace)
+                != trace_fingerprint(late.trials[0].trace))
+
+    def test_fsync_lag_trigger_point_flips_the_verdict(self):
+        """The stale-rejoin story as a trigger sweep: an fsync-lagged
+        object that crashes *after* acknowledging the write's store (but
+        before syncing it) can rejoin stale and serve ⊥; the same fault
+        fired too late to matter leaves the bounded space clean."""
+        def explore(at: int):
+            return (
+                Cluster("abd", t=1, durability="mem")
+                .with_faults("timed", count=1, inner="fsync-lag", at=at,
+                             rejoin_after=0, lag=1)
+                .with_operations([("write", "v1", 0), ("read", 1, 100)])
+                .check("atomicity")
+                .explore(max_holds=2, max_schedules=1000)
+            )
+
+        vulnerable = explore(1)
+        assert vulnerable.witnesses, "crash inside the sync lag must refute"
+        safe = explore(99)
+        assert safe.certified and not safe.witnesses
+
+
+# --------------------------------------------------------------------- #
+# Symmetry reduction
+# --------------------------------------------------------------------- #
+
+
+class TestSymmetry:
+    def test_same_verdict_fewer_schedules(self):
+        """Relabeling fault-free twins prunes without changing the verdict."""
+        cluster = underprovisioned_cluster().check("atomicity")
+        plain = cluster.explore(max_holds=2, max_schedules=3000)
+        reduced = cluster.explore(max_holds=2, max_schedules=3000,
+                                  symmetry=True)
+        assert bool(plain.witnesses) == bool(reduced.witnesses)
+        assert reduced.stats.pruned_symmetry > 0
+        assert reduced.stats.explored < plain.stats.explored
+
+    def test_symmetry_preserves_certification(self):
+        cluster = (
+            Cluster("abd", t=1)
+            .with_faults("crash", count=1)
+            .with_operations([("write", "v1", 0), ("read", 1, 100)])
+            .check("atomicity")
+        )
+        plain = cluster.explore(max_holds=2, max_schedules=3000)
+        reduced = cluster.explore(max_holds=2, max_schedules=3000,
+                                  symmetry=True)
+        assert plain.certified and reduced.certified
+
+
+# --------------------------------------------------------------------- #
+# The frontier
+# --------------------------------------------------------------------- #
+
+
+class TestModelLadder:
+    def test_single_writer_ladder(self):
+        assert model_ladder(4) == (
+            "atomicity", "k-atomic(2)", "k-atomic(3)", "k-atomic(4)",
+            "regularity", "safety",
+        )
+
+    def test_multi_writer_drops_swmr_models(self):
+        assert model_ladder(3, multi_writer=True) == (
+            "atomicity", "k-atomic(2)", "k-atomic(3)",
+        )
+
+    def test_trivial_and_invalid_ladders(self):
+        assert model_ladder(1) == ("atomicity", "regularity", "safety")
+        with pytest.raises(ConfigurationError):
+            model_ladder(0)
+
+
+class TestFrontier:
+    def test_abd_certifies_atomicity_at_resilience_bound(self):
+        """The paper's baseline: ABD is atomic with t crash faults at 2t+1."""
+        cluster = (
+            Cluster("abd", t=1)
+            .with_faults("crash", count=1)
+            .with_operations([("write", "v1", 0), ("read", 1, 100)])
+        )
+        result = robustness_frontier(cluster, max_holds=2, max_schedules=1000)
+        assert isinstance(result, FrontierResult)
+        assert result.strongest == "atomicity"
+        assert result.certified
+        assert result.refuted is None and result.witness is None
+        assert not result.degraded
+        assert result.outcomes == {"atomicity": "certified"}
+
+    def test_underprovisioned_stack_lands_at_k2(self):
+        """Two stale objects exceed t=1: atomicity refuted, k=2 certified."""
+        result = robustness_frontier(
+            underprovisioned_cluster(), max_holds=2, max_schedules=3000,
+        )
+        assert result.degraded
+        assert result.outcomes["atomicity"] == "refuted"
+        assert result.strongest == "k-atomic(2)"
+        assert result.certified
+        assert result.refuted == "atomicity"
+        assert result.witness is not None
+        assert result.witness.failures[0][0] == "atomicity"
+        outcome = result.witness.replay()
+        assert result.witness.reproduces(outcome)
+
+    def test_timed_frontier_witness_carries_trigger(self):
+        """The separating witness includes a fault-timing choice point."""
+        result = robustness_frontier(
+            timed_stack(), max_holds=2, max_schedules=3000,
+        )
+        assert result.strongest == "k-atomic(2)"
+        assert result.refuted == "atomicity"
+        triggers = [d for d in result.witness.decisions
+                    if isinstance(d, FaultTrigger)]
+        assert triggers == [FaultTrigger(obj=2, at=0)]
+
+    def test_engine_parity(self):
+        """Frontier payloads agree across engines modulo the engine tag."""
+        def normalize(payload):
+            payload = dict(payload)
+            payload.pop("engine")
+            if payload.get("witness"):
+                payload["witness"] = {
+                    key: value for key, value in payload["witness"].items()
+                    if key != "engine"
+                }
+            return payload
+
+        payloads = []
+        for engine in ("event", "batched"):
+            cluster = (
+                Cluster("atomic-fast-regular", t=1, S=4,
+                        allow_overfault=True, engine=engine)
+                .with_faults("stale-echo", count=2)
+                .with_operations([("write", "v1", 0), ("read", 1, 100)])
+            )
+            payloads.append(robustness_frontier(
+                cluster, max_holds=2, max_schedules=3000,
+            ).to_dict())
+        assert normalize(payloads[0]) == normalize(payloads[1])
+
+    def test_multi_writer_ladder_applies(self):
+        cluster = (
+            Cluster("mwmr-fast-regular", n_writers=2)
+            .with_faults("crash", count=1)
+            .with_workload(operations=3, spacing=60)
+        )
+        result = robustness_frontier(
+            cluster, max_k=2, max_holds=1, max_schedules=500,
+        )
+        assert result.ladder == ("atomicity", "k-atomic(2)")
+        assert result.strongest == "atomicity"
+
+    def test_cluster_with_faults_argument_conflict(self):
+        with pytest.raises(ConfigurationError):
+            robustness_frontier(underprovisioned_cluster(), {"crash": 1})
+
+    def test_with_checks_replaces_instead_of_appending(self):
+        cluster = Cluster("abd").check("atomicity")
+        assert cluster.with_checks("regularity")._checks == ("regularity",)
+        assert cluster._checks == ("atomicity",)  # original untouched
+
+    def test_facade_entry_point_matches_function(self):
+        via_method = underprovisioned_cluster().frontier(
+            max_holds=2, max_schedules=3000,
+        )
+        via_function = robustness_frontier(
+            underprovisioned_cluster(), max_holds=2, max_schedules=3000,
+        )
+        assert via_method.to_dict() == via_function.to_dict()
+
+
+class TestSweepPayload:
+    def test_sweep_attaches_robustness_payload(self):
+        result = sweep(
+            ["abd"], scenarios=["crash"], trials=1, operations=4,
+            frontier=True,
+            frontier_bounds={"max_holds": 1, "max_schedules": 100},
+        )
+        payload = result.runs[0].robustness
+        assert payload is not None
+        assert payload["bounds"]["max_holds"] == 1
+        assert payload["strongest"] is not None
+        assert "robustness" in result.runs[0].to_dict()
+
+    def test_sweep_without_frontier_has_no_payload(self):
+        result = sweep(["abd"], scenarios=["crash"], trials=1, operations=4)
+        assert result.runs[0].robustness is None
+        assert "robustness" not in result.runs[0].to_dict()

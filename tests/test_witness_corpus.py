@@ -25,7 +25,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.explore import ScheduleWitness
+from repro.explore import FaultTrigger, HoldLink, ScheduleWitness
 from repro.sim.batched import ENGINES
 
 WITNESS_DIR = Path(__file__).parent / "witnesses"
@@ -106,6 +106,47 @@ def test_k1_violation_witness_shape():
     assert len(witness.decisions) == 2
     assert witness.failures and witness.failures[0][0] == "k-atomic(1)"
     assert "beyond the k=1 bound" in witness.failures[0][1]
+
+
+def test_timed_stale_frontier_witness_shape():
+    """The frontier's refutation witness: fault timing IS a choice point.
+
+    One stale-echo object is active from the start; a second carries a
+    ``timed(stale-echo@99)`` wrapper that never fires on the facade's
+    schedule, so without timing choice points the bounded space is clean.
+    The explorer's swept trigger fires the second object at delivery 0
+    (``fire s2@0``) and one held link steers the read onto the two stale
+    objects — the minimized mixed-vocabulary witness that refutes
+    atomicity while ``repro frontier`` certifies k-atomic(2) for the same
+    configuration.
+    """
+    witness = ScheduleWitness.load(WITNESS_DIR / "timed_stale_frontier.json")
+    assert witness.probe.protocol == "atomic-fast-regular"
+    assert witness.probe.allow_overfault
+    faults = {g.fault for g in witness.probe.fault_groups}
+    assert faults == {"stale-echo", "timed"}
+    holds = [d for d in witness.decisions if isinstance(d, HoldLink)]
+    triggers = [d for d in witness.decisions if isinstance(d, FaultTrigger)]
+    assert len(holds) == 1 and len(triggers) == 1
+    assert triggers[0].obj == 2 and triggers[0].at == 0
+    assert witness.failures and witness.failures[0][0] == "atomicity"
+    assert "stale read" in witness.failures[0][1]
+
+
+def test_timed_double_trigger_witness_shape():
+    """The all-triggers witness: both stale objects are explorer-fired.
+
+    Both faulty objects carry inert ``timed(stale-echo@99)`` wrappers, so
+    the *only* path to the violation is through two swept trigger
+    decisions plus the steering hold — the deepest mixed decision set in
+    the corpus, discovered and saved through the CLI alone.
+    """
+    witness = ScheduleWitness.load(WITNESS_DIR / "timed_double_trigger.json")
+    assert witness.probe.protocol == "atomic-fast-regular"
+    triggers = [d for d in witness.decisions if isinstance(d, FaultTrigger)]
+    assert sorted((t.obj, t.at) for t in triggers) == [(1, 0), (2, 0)]
+    assert all(g.fault == "timed" for g in witness.probe.fault_groups)
+    assert witness.failures and witness.failures[0][0] == "atomicity"
 
 
 def test_underquorum_transfer_witness_shape():
